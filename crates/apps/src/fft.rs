@@ -1,0 +1,281 @@
+//! FFTW-style one-dimensional complex DFT (paper §5.1.4).
+//!
+//! A recursive radix-2 decimation-in-time Cooley-Tukey transform. Like the
+//! multithreaded FFTW code the paper used, the implementation "forks a
+//! Pthread for each recursive transform, until the specified number of
+//! threads are created; after that it executes the recursion serially."
+//! The thread-count knob is what Figure 10 sweeps: `p` threads partition a
+//! power-of-two problem perfectly when `p` is a power of two, but only a
+//! larger thread pool (256) lets the scheduler balance the load for other
+//! processor counts.
+
+use crate::util::{charge_flops_dense, region, salt, uniform01, SharedBuf};
+
+/// A complex number (two f64s).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cpx {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Cpx {
+    /// Constructs from parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Cpx { re, im }
+    }
+
+    #[inline]
+    fn mul(self, o: Cpx) -> Cpx {
+        Cpx {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+
+    #[inline]
+    fn add(self, o: Cpx) -> Cpx {
+        Cpx {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
+    }
+
+    #[inline]
+    fn sub(self, o: Cpx) -> Cpx {
+        Cpx {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+}
+
+/// Problem parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// log2 of the transform size.
+    pub log2n: u32,
+    /// Number of threads to create (the FFTW interface knob).
+    pub threads: usize,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// The paper's configuration: N = 2^22.
+    pub fn paper(threads: usize) -> Self {
+        Params {
+            log2n: 22,
+            threads,
+            seed: 0xF0,
+        }
+    }
+
+    /// Scaled-down configuration (leaf transforms stay big enough that the
+    /// thread-overhead ratio resembles the paper's 2^22 / 256 threads).
+    pub fn small(threads: usize) -> Self {
+        Params {
+            log2n: 20,
+            threads,
+            seed: 0xF0,
+        }
+    }
+
+    /// Transform size.
+    pub fn n(&self) -> usize {
+        1 << self.log2n
+    }
+}
+
+/// Random complex signal.
+pub fn gen_input(p: &Params) -> Vec<Cpx> {
+    let mut s = p.seed;
+    (0..p.n())
+        .map(|_| Cpx::new(uniform01(&mut s) * 2.0 - 1.0, uniform01(&mut s) * 2.0 - 1.0))
+        .collect()
+}
+
+/// Forward DFT of `input` (length must equal `p.n()`), forking up to
+/// `p.threads` threads. Runs in any execution mode.
+pub fn fft(input: &[Cpx], p: &Params) -> Vec<Cpx> {
+    let n = p.n();
+    assert_eq!(input.len(), n);
+    // Twiddle table: w_n^k for k < n/2 (shared, read-only).
+    let mut twiddles: Vec<Cpx> = (0..n / 2)
+        .map(|k| {
+            let ang = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+            Cpx::new(ang.cos(), ang.sin())
+        })
+        .collect();
+    charge_flops_dense((n / 2) as u64 * 20); // table construction (sin/cos)
+    let mut src = input.to_vec();
+    let mut dst = vec![Cpx::default(); n];
+    {
+        let sv = SharedBuf::new(&mut src);
+        let dv = SharedBuf::new(&mut dst);
+        let tw = SharedBuf::new(&mut twiddles);
+        rec(sv, 0, 1, dv, 0, n, n, tw, p.threads.max(1));
+    }
+    dst
+}
+
+/// Recursive DIT step: transform `src[src_off + i*stride]` for `i < m` into
+/// `dst[dst_off .. dst_off + m]`. `n` is the full transform size (for
+/// twiddle indexing).
+#[allow(clippy::too_many_arguments)]
+fn rec(
+    src: SharedBuf<Cpx>,
+    src_off: usize,
+    stride: usize,
+    dst: SharedBuf<Cpx>,
+    dst_off: usize,
+    m: usize,
+    n: usize,
+    tw: SharedBuf<Cpx>,
+    budget: usize,
+) {
+    if m == 1 {
+        // SAFETY: each recursion leaf owns a distinct dst index; src is
+        // read-only throughout.
+        unsafe { dst.set(dst_off, src.get(src_off)) };
+        return;
+    }
+    let h = m / 2;
+    if budget >= 2 {
+        let b1 = budget / 2;
+        let b2 = budget - b1;
+        let even = ptdf::spawn(move || rec(src, src_off, stride * 2, dst, dst_off, h, n, tw, b1));
+        let odd = ptdf::spawn(move || {
+            rec(src, src_off + stride, stride * 2, dst, dst_off + h, h, n, tw, b2)
+        });
+        even.join();
+        odd.join();
+    } else {
+        rec(src, src_off, stride * 2, dst, dst_off, h, n, tw, 1);
+        rec(src, src_off + stride, stride * 2, dst, dst_off + h, h, n, tw, 1);
+    }
+    // Combine: butterfly with twiddles w_n^(k * n/m).
+    let twiddle_stride = n / m;
+    ptdf::touch(region(salt::FFT, (dst_off / 1024) as u64), (m * 16) as u64);
+    for k in 0..h {
+        // SAFETY: this thread exclusively owns dst[dst_off..dst_off+m] at
+        // this point (children joined).
+        unsafe {
+            let e = dst.get(dst_off + k);
+            let o = dst.get(dst_off + h + k);
+            let w = tw.get(k * twiddle_stride);
+            let t = w.mul(o);
+            dst.set(dst_off + k, e.add(t));
+            dst.set(dst_off + h + k, e.sub(t));
+        }
+    }
+    charge_flops_dense(h as u64 * 10);
+}
+
+/// Naive O(n²) DFT for verification.
+pub fn reference_dft(input: &[Cpx]) -> Vec<Cpx> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Cpx::default();
+            for (j, &x) in input.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k * j % n) as f64 / n as f64;
+                acc = acc.add(x.mul(Cpx::new(ang.cos(), ang.sin())));
+            }
+            acc
+        })
+        .collect()
+}
+
+/// RMS error between two complex vectors.
+pub fn rms_error(a: &[Cpx], b: &[Cpx]) -> f64 {
+    let sum: f64 = a.iter().zip(b).map(|(x, y)| x.sub(*y).abs().powi(2)).sum();
+    (sum / a.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptdf::{Config, SchedKind};
+
+    #[test]
+    fn matches_naive_dft() {
+        let p = Params {
+            log2n: 8,
+            threads: 1,
+            seed: 1,
+        };
+        let x = gen_input(&p);
+        let got = fft(&x, &p);
+        let want = reference_dft(&x);
+        assert!(rms_error(&got, &want) < 1e-9);
+    }
+
+    #[test]
+    fn thread_budget_does_not_change_result() {
+        let p1 = Params {
+            log2n: 10,
+            threads: 1,
+            seed: 2,
+        };
+        let x = gen_input(&p1);
+        let serial = fft(&x, &p1);
+        for threads in [2, 3, 7, 16, 256] {
+            let p = Params { threads, ..p1 };
+            let (out, _) = ptdf::run(Config::new(4, SchedKind::Df), {
+                let x = x.clone();
+                move || fft(&x, &p)
+            });
+            assert!(rms_error(&out, &serial) < 1e-12, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let p = Params {
+            log2n: 10,
+            threads: 4,
+            seed: 3,
+        };
+        let x = gen_input(&p);
+        let y = fft(&x, &p);
+        let ex: f64 = x.iter().map(|c| c.abs().powi(2)).sum();
+        let ey: f64 = y.iter().map(|c| c.abs().powi(2)).sum::<f64>() / p.n() as f64;
+        assert!((ex - ey).abs() / ex < 1e-12);
+    }
+
+    #[test]
+    fn impulse_gives_flat_spectrum() {
+        let p = Params {
+            log2n: 6,
+            threads: 2,
+            seed: 0,
+        };
+        let mut x = vec![Cpx::default(); p.n()];
+        x[0] = Cpx::new(1.0, 0.0);
+        let y = fft(&x, &p);
+        for c in y {
+            assert!((c.re - 1.0).abs() < 1e-12 && c.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn thread_count_matches_budget_under_runtime() {
+        let p = Params {
+            log2n: 12,
+            threads: 8,
+            seed: 4,
+        };
+        let x = gen_input(&p);
+        let (_, report) = ptdf::run(Config::new(4, SchedKind::Df), move || fft(&x, &p));
+        // Budget 8 → 8 leaves → 14 forked threads (binary tree interior
+        // forks 2 each: 2+4+8 = 14) + root.
+        assert_eq!(report.total_threads, 15);
+    }
+}

@@ -1,0 +1,183 @@
+//! Multi-index machinery for Cartesian Taylor expansions in three
+//! variables: index enumeration, lookups, factorials, and the product pair
+//! table used by truncated polynomial multiplication.
+
+/// All multi-indices `α = (i,j,k)` with `|α| ≤ order`, with O(1) lookup.
+#[derive(Debug, Clone)]
+pub struct MultiIndexTable {
+    /// Maximum total order.
+    pub order: usize,
+    /// The multi-indices, sorted by total order then lexicographically.
+    pub idx: Vec<(u8, u8, u8)>,
+    /// Dense lookup: `(i * (order+1) + j) * (order+1) + k → position`.
+    lookup: Vec<u32>,
+    /// `α!` per position.
+    pub factorial: Vec<f64>,
+}
+
+impl MultiIndexTable {
+    /// Builds the table for `order`.
+    pub fn new(order: usize) -> Self {
+        let mut idx = Vec::new();
+        for total in 0..=order {
+            for i in (0..=total).rev() {
+                for j in (0..=(total - i)).rev() {
+                    let k = total - i - j;
+                    idx.push((i as u8, j as u8, k as u8));
+                }
+            }
+        }
+        let stride = order + 1;
+        let mut lookup = vec![u32::MAX; stride * stride * stride];
+        for (pos, &(i, j, k)) in idx.iter().enumerate() {
+            lookup[(i as usize * stride + j as usize) * stride + k as usize] = pos as u32;
+        }
+        let fact = |n: u8| (1..=n as u64).product::<u64>() as f64;
+        let factorial = idx
+            .iter()
+            .map(|&(i, j, k)| fact(i) * fact(j) * fact(k))
+            .collect();
+        MultiIndexTable {
+            order,
+            idx,
+            lookup,
+            factorial,
+        }
+    }
+
+    /// Number of indices: `C(order+3, 3)`.
+    pub fn len(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// True when the table is empty (never for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.idx.is_empty()
+    }
+
+    /// Position of `(i,j,k)`, if `i+j+k ≤ order`.
+    #[inline]
+    pub fn pos(&self, i: usize, j: usize, k: usize) -> Option<usize> {
+        if i + j + k > self.order {
+            return None;
+        }
+        let stride = self.order + 1;
+        let v = self.lookup[(i * stride + j) * stride + k];
+        (v != u32::MAX).then_some(v as usize)
+    }
+
+    /// Position of the sum `α + β`, if within order.
+    #[inline]
+    pub fn pos_sum(&self, a: (u8, u8, u8), b: (u8, u8, u8)) -> Option<usize> {
+        self.pos(
+            a.0 as usize + b.0 as usize,
+            a.1 as usize + b.1 as usize,
+            a.2 as usize + b.2 as usize,
+        )
+    }
+
+    /// Evaluates the monomials `v^α` for every index, into `out`.
+    pub fn monomials(&self, v: [f64; 3], out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.len());
+        // idx is sorted by total order, so every index with |α| > 0 has a
+        // predecessor obtained by decrementing one coordinate.
+        for (p, &(i, j, k)) in self.idx.iter().enumerate() {
+            out[p] = if i == 0 && j == 0 && k == 0 {
+                1.0
+            } else if i > 0 {
+                let prev = self
+                    .pos(i as usize - 1, j as usize, k as usize)
+                    .expect("predecessor exists");
+                out[prev] * v[0]
+            } else if j > 0 {
+                let prev = self
+                    .pos(i as usize, j as usize - 1, k as usize)
+                    .expect("predecessor exists");
+                out[prev] * v[1]
+            } else {
+                let prev = self
+                    .pos(i as usize, j as usize, k as usize - 1)
+                    .expect("predecessor exists");
+                out[prev] * v[2]
+            };
+        }
+    }
+
+    /// Builds the truncated-product pair list: all `(a, b, out)` positions
+    /// with `idx[a] + idx[b] = idx[out]` (within order).
+    pub fn product_pairs(&self) -> Vec<(u32, u32, u32)> {
+        let mut pairs = Vec::new();
+        for (a, &ia) in self.idx.iter().enumerate() {
+            for (b, &ib) in self.idx.iter().enumerate() {
+                if let Some(out) = self.pos_sum(ia, ib) {
+                    pairs.push((a as u32, b as u32, out as u32));
+                }
+            }
+        }
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_binomial() {
+        for order in 0..9 {
+            let t = MultiIndexTable::new(order);
+            let expect = (order + 1) * (order + 2) * (order + 3) / 6;
+            assert_eq!(t.len(), expect, "order {order}");
+        }
+    }
+
+    #[test]
+    fn lookup_roundtrip() {
+        let t = MultiIndexTable::new(5);
+        for (p, &(i, j, k)) in t.idx.iter().enumerate() {
+            assert_eq!(t.pos(i as usize, j as usize, k as usize), Some(p));
+        }
+        assert_eq!(t.pos(6, 0, 0), None);
+        assert_eq!(t.pos(3, 2, 1), t.pos(3, 2, 1));
+    }
+
+    #[test]
+    fn factorials() {
+        let t = MultiIndexTable::new(4);
+        let p = t.pos(2, 1, 0).unwrap();
+        assert_eq!(t.factorial[p], 2.0);
+        let p = t.pos(3, 0, 1).unwrap();
+        assert_eq!(t.factorial[p], 6.0);
+        let p = t.pos(0, 0, 0).unwrap();
+        assert_eq!(t.factorial[p], 1.0);
+    }
+
+    #[test]
+    fn monomials_correct() {
+        let t = MultiIndexTable::new(4);
+        let v = [2.0, -1.5, 0.5];
+        let mut out = vec![0.0; t.len()];
+        t.monomials(v, &mut out);
+        for (p, &(i, j, k)) in t.idx.iter().enumerate() {
+            let want = v[0].powi(i as i32) * v[1].powi(j as i32) * v[2].powi(k as i32);
+            assert!((out[p] - want).abs() < 1e-12, "α=({i},{j},{k})");
+        }
+    }
+
+    #[test]
+    fn product_pairs_complete() {
+        let t = MultiIndexTable::new(2);
+        let pairs = t.product_pairs();
+        // (1,0,0)*(0,1,0) must land on (1,1,0).
+        let a = t.pos(1, 0, 0).unwrap() as u32;
+        let b = t.pos(0, 1, 0).unwrap() as u32;
+        let o = t.pos(1, 1, 0).unwrap() as u32;
+        assert!(pairs.contains(&(a, b, o)));
+        // No pair exceeds the order.
+        for &(a, b, _) in &pairs {
+            let (i1, j1, k1) = t.idx[a as usize];
+            let (i2, j2, k2) = t.idx[b as usize];
+            assert!((i1 + i2 + j1 + j2 + k1 + k2) as usize <= t.order);
+        }
+    }
+}

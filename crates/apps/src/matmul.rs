@@ -1,0 +1,515 @@
+//! Dense matrix multiply: the paper's running example (§3, Figure 4).
+//!
+//! A block-based divide-and-conquer algorithm with dynamic parallelism:
+//! each recursive call forks eight child threads for the quadrant products
+//! (four into `C`, four into a freshly allocated temporary `T`), joins them,
+//! and adds `T` into `C` with a parallel divide-and-conquer add. The
+//! recursion switches to an efficient serial kernel at `base × base` blocks
+//! (64 on the reference machine), which amortizes thread overheads.
+//!
+//! The temporaries are what make this benchmark space-interesting: a
+//! breadth-first (FIFO) schedule allocates *every* level's temporaries at
+//! once (~120 MB at n = 1024), while a depth-first schedule holds one path's
+//! worth (~11 MB) — the contrast of the paper's Figures 5b and 7b.
+
+use ptdf::TrackedBuf;
+
+use crate::util::{charge_flops_dense, region, salt, uniform01, SharedSlice};
+
+/// Problem parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Matrix dimension (power of two).
+    pub n: usize,
+    /// Serial base-case block size (power of two, ≤ n).
+    pub base: usize,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// The paper's configuration: 1024×1024, base 64.
+    pub fn paper() -> Self {
+        Params {
+            n: 1024,
+            base: 64,
+            seed: 0xA1,
+        }
+    }
+
+    /// A scaled-down configuration for quick runs. The base block stays at
+    /// the paper's 64 so the per-thread work (and hence the thread-overhead
+    /// ratio that drives the scheduling effects) matches the paper; only
+    /// the recursion depth shrinks.
+    pub fn small() -> Self {
+        Params {
+            n: 512,
+            base: 64,
+            seed: 0xA1,
+        }
+    }
+
+    /// Total multiply flops (2n³), ignoring the add temporaries.
+    pub fn flops(&self) -> u64 {
+        2 * (self.n as u64).pow(3)
+    }
+}
+
+/// Generates two random `n×n` matrices (row-major).
+pub fn gen_input(p: &Params) -> (Vec<f64>, Vec<f64>) {
+    assert!(p.n.is_power_of_two() && p.base.is_power_of_two() && p.base <= p.n);
+    let mut state = p.seed;
+    let gen = |state: &mut u64| {
+        (0..p.n * p.n)
+            .map(|_| uniform01(state) * 2.0 - 1.0)
+            .collect::<Vec<f64>>()
+    };
+    let a = gen(&mut state);
+    let b = gen(&mut state);
+    (a, b)
+}
+
+/// A square sub-block of a row-major `n×n` matrix.
+#[derive(Clone, Copy, Debug)]
+struct Sub {
+    buf: SharedSlice,
+    /// Row stride of the underlying buffer.
+    stride: usize,
+    row: usize,
+    col: usize,
+}
+
+impl Sub {
+    fn quad(self, half: usize, qi: usize, qj: usize) -> Sub {
+        Sub {
+            row: self.row + qi * half,
+            col: self.col + qj * half,
+            ..self
+        }
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize) -> usize {
+        (self.row + i) * self.stride + (self.col + j)
+    }
+}
+
+/// `C = A × B` with the paper's divide-and-conquer algorithm. Runs in any
+/// execution mode (parallel runtime, serial baseline, or standalone).
+pub fn multiply(a: &[f64], b: &[f64], p: &Params) -> Vec<f64> {
+    let n = p.n;
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n * n);
+    let mut c = TrackedBuf::<f64>::zeroed(n * n);
+    // Inputs are logically read-only during the multiply; the shared-view
+    // idiom wants owned, mutable buffers to point into. They are tracked so
+    // the space figures include the input matrices, as the paper's do.
+    let mut a_copy = TrackedBuf::from_vec(a.to_vec());
+    let mut b_copy = TrackedBuf::from_vec(b.to_vec());
+    {
+        let av = Sub {
+            buf: SharedSlice::new(&mut a_copy),
+            stride: n,
+            row: 0,
+            col: 0,
+        };
+        let bv = Sub {
+            buf: SharedSlice::new(&mut b_copy),
+            stride: n,
+            row: 0,
+            col: 0,
+        };
+        let cv = Sub {
+            buf: SharedSlice::new(&mut c),
+            stride: n,
+            row: 0,
+            col: 0,
+        };
+        mm(av, bv, cv, n, p.base, 1);
+    }
+    c.into_vec()
+}
+
+/// Recursive multiply: `C += A × B` over `size × size` blocks.
+fn mm(a: Sub, b: Sub, c: Sub, size: usize, base: usize, path: u64) {
+    if size <= base {
+        serial_mult(a, b, c, size, base);
+        return;
+    }
+    let h = size / 2;
+    // Temporary T for the second half of the quadrant products.
+    let mut t_buf = TrackedBuf::<f64>::zeroed(size * size);
+    let tv = Sub {
+        buf: SharedSlice::new(&mut t_buf),
+        stride: size,
+        row: 0,
+        col: 0,
+    };
+    let tasks: [(Sub, Sub, Sub); 8] = [
+        (a.quad(h, 0, 0), b.quad(h, 0, 0), c.quad(h, 0, 0)), // A11*B11 -> C11
+        (a.quad(h, 0, 0), b.quad(h, 0, 1), c.quad(h, 0, 1)), // A11*B12 -> C12
+        (a.quad(h, 1, 0), b.quad(h, 0, 0), c.quad(h, 1, 0)), // A21*B11 -> C21
+        (a.quad(h, 1, 0), b.quad(h, 0, 1), c.quad(h, 1, 1)), // A21*B12 -> C22
+        (a.quad(h, 0, 1), b.quad(h, 1, 0), tv.quad(h, 0, 0)), // A12*B21 -> T11
+        (a.quad(h, 0, 1), b.quad(h, 1, 1), tv.quad(h, 0, 1)), // A12*B22 -> T12
+        (a.quad(h, 1, 1), b.quad(h, 1, 0), tv.quad(h, 1, 0)), // A22*B21 -> T21
+        (a.quad(h, 1, 1), b.quad(h, 1, 1), tv.quad(h, 1, 1)), // A22*B22 -> T22
+    ];
+    let handles: Vec<_> = tasks
+        .into_iter()
+        .enumerate()
+        .map(|(i, (ta, tb, tc))| {
+            let child_path = path * 8 + i as u64;
+            ptdf::spawn(move || mm(ta, tb, tc, h, base, child_path))
+        })
+        .collect();
+    for hdl in handles {
+        hdl.join();
+    }
+    matrix_add(tv, c, size, base, path);
+    drop(t_buf);
+}
+
+/// Serial base-case kernel: `C += A × B` on a `size × size` block (ikj
+/// order). Charges the modelled flops and declares block locality.
+fn serial_mult(a: Sub, b: Sub, c: Sub, size: usize, base: usize) {
+    touch_block(salt::MATMUL_A, &a, size, base);
+    touch_block(salt::MATMUL_B, &b, size, base);
+    touch_block(salt::MATMUL_C, &c, size, base);
+    for i in 0..size {
+        for k in 0..size {
+            // SAFETY: a is only read; indices in-block (see SharedSlice).
+            let aik = unsafe { a.buf.get(a.idx(i, k)) };
+            for j in 0..size {
+                // SAFETY: C blocks of concurrently-live threads are disjoint
+                // quadrants; A/B are read-only during the multiply.
+                unsafe {
+                    let v = b.buf.get(b.idx(k, j));
+                    c.buf.add_assign(c.idx(i, j), aik * v);
+                }
+            }
+        }
+    }
+    charge_flops_dense(2 * (size as u64).pow(3));
+}
+
+/// Parallel divide-and-conquer `C += T` (the paper's `Matrix_Add`).
+fn matrix_add(t: Sub, c: Sub, size: usize, base: usize, path: u64) {
+    if size <= base {
+        touch_block(salt::MATMUL_C, &c, size, base);
+        for i in 0..size {
+            for j in 0..size {
+                // SAFETY: disjoint quadrants per live thread.
+                unsafe {
+                    let v = t.buf.get(t.idx(i, j));
+                    c.buf.add_assign(c.idx(i, j), v);
+                }
+            }
+        }
+        charge_flops_dense((size * size) as u64);
+        return;
+    }
+    let h = size / 2;
+    let handles: Vec<_> = (0..4)
+        .map(|q| {
+            let (qi, qj) = (q / 2, q % 2);
+            let tq = t.quad(h, qi, qj);
+            let cq = c.quad(h, qi, qj);
+            let child_path = path * 8 + 4 + q as u64;
+            ptdf::spawn(move || matrix_add(tq, cq, h, base, child_path))
+        })
+        .collect();
+    for hdl in handles {
+        hdl.join();
+    }
+}
+
+fn touch_block(s: u64, m: &Sub, size: usize, base: usize) {
+    // One region per base-block, addressed by absolute block coordinates.
+    let id = ((m.row / base.max(1)) as u64) << 20 | (m.col / base.max(1)) as u64;
+    ptdf::touch(region(s, id), (size * size * 8) as u64);
+}
+
+// ---------------------------------------------------------------------------
+// Strassen's algorithm (the paper's §3 aside: "the more complex but
+// asymptotically faster Strassen's matrix multiply can also be implemented
+// in a similar divide-and-conquer fashion with a few extra lines of code").
+// Seven recursive products over explicitly allocated temporaries — even more
+// allocation-intensive than the standard algorithm, which makes it a
+// stress case for the space-efficient scheduler.
+// ---------------------------------------------------------------------------
+
+/// `C = A × B` by Strassen's algorithm with a thread per recursive product.
+/// Falls back to the serial kernel at `p.base`.
+pub fn strassen(a: &[f64], b: &[f64], p: &Params) -> Vec<f64> {
+    let n = p.n;
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n * n);
+    let out = strassen_rec(a, b, n, p.base, 1);
+    out.into_vec()
+}
+
+/// Contiguous `size×size` helpers for the Strassen recursion.
+fn quad_copy(src: &[f64], size: usize, qi: usize, qj: usize) -> TrackedBuf<f64> {
+    let h = size / 2;
+    let mut out = TrackedBuf::<f64>::zeroed(h * h);
+    for i in 0..h {
+        let s = (qi * h + i) * size + qj * h;
+        out[i * h..(i + 1) * h].copy_from_slice(&src[s..s + h]);
+    }
+    charge_flops_dense((h * h) as u64 / 4);
+    out
+}
+
+fn mat_add(x: &[f64], y: &[f64]) -> TrackedBuf<f64> {
+    charge_flops_dense(x.len() as u64);
+    TrackedBuf::from_vec(x.iter().zip(y).map(|(a, b)| a + b).collect())
+}
+
+fn mat_sub(x: &[f64], y: &[f64]) -> TrackedBuf<f64> {
+    charge_flops_dense(x.len() as u64);
+    TrackedBuf::from_vec(x.iter().zip(y).map(|(a, b)| a - b).collect())
+}
+
+fn strassen_rec(a: &[f64], b: &[f64], size: usize, base: usize, path: u64) -> TrackedBuf<f64> {
+    if size <= base {
+        // Serial kernel on contiguous blocks.
+        let mut c = TrackedBuf::<f64>::zeroed(size * size);
+        for i in 0..size {
+            for k in 0..size {
+                let aik = a[i * size + k];
+                for j in 0..size {
+                    c[i * size + j] += aik * b[k * size + j];
+                }
+            }
+        }
+        charge_flops_dense(2 * (size as u64).pow(3));
+        ptdf::touch(
+            region(salt::MATMUL_C, 0x5752A55E ^ path),
+            (size * size * 24) as u64,
+        );
+        return c;
+    }
+    let h = size / 2;
+    let a11 = quad_copy(a, size, 0, 0);
+    let a12 = quad_copy(a, size, 0, 1);
+    let a21 = quad_copy(a, size, 1, 0);
+    let a22 = quad_copy(a, size, 1, 1);
+    let b11 = quad_copy(b, size, 0, 0);
+    let b12 = quad_copy(b, size, 0, 1);
+    let b21 = quad_copy(b, size, 1, 0);
+    let b22 = quad_copy(b, size, 1, 1);
+
+    // The seven Strassen operand pairs.
+    let s1a = mat_add(&a11, &a22);
+    let s1b = mat_add(&b11, &b22);
+    let s2a = mat_add(&a21, &a22);
+    let s3b = mat_sub(&b12, &b22);
+    let s4b = mat_sub(&b21, &b11);
+    let s5a = mat_add(&a11, &a12);
+    let s6a = mat_sub(&a21, &a11);
+    let s6b = mat_add(&b11, &b12);
+    let s7a = mat_sub(&a12, &a22);
+    let s7b = mat_add(&b21, &b22);
+
+    let mut ms: [Option<TrackedBuf<f64>>; 7] = Default::default();
+    {
+        let (m1s, rest) = ms.split_at_mut(1);
+        let (m2s, rest) = rest.split_at_mut(1);
+        let (m3s, rest) = rest.split_at_mut(1);
+        let (m4s, rest) = rest.split_at_mut(1);
+        let (m5s, rest) = rest.split_at_mut(1);
+        let (m6s, m7s) = rest.split_at_mut(1);
+        ptdf::scope(|s| {
+            s.spawn(|| m1s[0] = Some(strassen_rec(&s1a, &s1b, h, base, path * 8 + 1)));
+            s.spawn(|| m2s[0] = Some(strassen_rec(&s2a, &b11, h, base, path * 8 + 2)));
+            s.spawn(|| m3s[0] = Some(strassen_rec(&a11, &s3b, h, base, path * 8 + 3)));
+            s.spawn(|| m4s[0] = Some(strassen_rec(&a22, &s4b, h, base, path * 8 + 4)));
+            s.spawn(|| m5s[0] = Some(strassen_rec(&s5a, &b22, h, base, path * 8 + 5)));
+            s.spawn(|| m6s[0] = Some(strassen_rec(&s6a, &s6b, h, base, path * 8 + 6)));
+            m7s[0] = Some(strassen_rec(&s7a, &s7b, h, base, path * 8 + 7));
+        });
+    }
+    let [m1, m2, m3, m4, m5, m6, m7] = ms.map(|m| m.expect("product computed"));
+
+    // Assemble C from the products.
+    let mut c = TrackedBuf::<f64>::zeroed(size * size);
+    for i in 0..h {
+        for j in 0..h {
+            let k = i * h + j;
+            c[i * size + j] = m1[k] + m4[k] - m5[k] + m7[k]; // C11
+            c[i * size + j + h] = m3[k] + m5[k]; // C12
+            c[(i + h) * size + j] = m2[k] + m4[k]; // C21
+            c[(i + h) * size + j + h] = m1[k] - m2[k] + m3[k] + m6[k]; // C22
+        }
+    }
+    charge_flops_dense(8 * (h * h) as u64);
+    c
+}
+
+/// Naive reference multiply (no charging) for verification.
+pub fn reference(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+    let mut c = vec![0.0; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i * n + k];
+            for j in 0..n {
+                c[i * n + j] += aik * b[k * n + j];
+            }
+        }
+    }
+    c
+}
+
+/// Maximum absolute elementwise difference.
+pub fn max_abs_diff(x: &[f64], y: &[f64]) -> f64 {
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptdf::{Config, SchedKind};
+
+    #[test]
+    fn standalone_matches_reference() {
+        let p = Params {
+            n: 64,
+            base: 16,
+            seed: 3,
+        };
+        let (a, b) = gen_input(&p);
+        let c = multiply(&a, &b, &p);
+        let r = reference(&a, &b, p.n);
+        assert!(max_abs_diff(&c, &r) < 1e-9);
+    }
+
+    #[test]
+    fn parallel_matches_reference_under_all_schedulers() {
+        let p = Params {
+            n: 64,
+            base: 16,
+            seed: 4,
+        };
+        let (a, b) = gen_input(&p);
+        let r = reference(&a, &b, p.n);
+        for kind in [SchedKind::Fifo, SchedKind::Lifo, SchedKind::Df, SchedKind::Ws] {
+            let (c, _) = ptdf::run(Config::new(4, kind), {
+                let (a, b) = (a.clone(), b.clone());
+                move || multiply(&a, &b, &p)
+            });
+            assert!(max_abs_diff(&c, &r) < 1e-9, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn base_equal_n_is_pure_serial_kernel() {
+        let p = Params {
+            n: 32,
+            base: 32,
+            seed: 5,
+        };
+        let (a, b) = gen_input(&p);
+        let c = multiply(&a, &b, &p);
+        let r = reference(&a, &b, p.n);
+        assert!(max_abs_diff(&c, &r) < 1e-9);
+    }
+
+    #[test]
+    fn df_footprint_far_below_fifo() {
+        let p = Params {
+            n: 128,
+            base: 16,
+            seed: 6,
+        };
+        let (a, b) = gen_input(&p);
+        let run_with = |kind| {
+            let (a, b) = (a.clone(), b.clone());
+            let (_, report) = ptdf::run(Config::new(4, kind), move || multiply(&a, &b, &p));
+            report
+        };
+        let fifo = run_with(SchedKind::Fifo);
+        let df = run_with(SchedKind::Df);
+        assert!(
+            df.footprint() < fifo.footprint() / 2,
+            "df {} vs fifo {}",
+            df.footprint(),
+            fifo.footprint()
+        );
+        assert!(df.max_live_threads() < fifo.max_live_threads() / 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_inputs_rejected() {
+        let p = Params {
+            n: 100,
+            base: 10,
+            seed: 0,
+        };
+        let _ = gen_input(&p);
+    }
+
+    #[test]
+    fn strassen_matches_reference() {
+        let p = Params {
+            n: 128,
+            base: 16,
+            seed: 21,
+        };
+        let (a, b) = gen_input(&p);
+        let r = reference(&a, &b, p.n);
+        let c = strassen(&a, &b, &p);
+        assert!(max_abs_diff(&c, &r) < 1e-8, "standalone strassen");
+        for kind in [SchedKind::Fifo, SchedKind::Df, SchedKind::Ws] {
+            let (c, report) = ptdf::run(Config::new(4, kind), {
+                let (a, b) = (a.clone(), b.clone());
+                move || strassen(&a, &b, &p)
+            });
+            assert!(max_abs_diff(&c, &r) < 1e-8, "{kind:?}");
+            assert!(report.total_threads > 40, "{kind:?} forks 7-way tree");
+        }
+    }
+
+    #[test]
+    fn strassen_space_discipline() {
+        let p = Params {
+            n: 128,
+            base: 16,
+            seed: 22,
+        };
+        let (a, b) = gen_input(&p);
+        let run_with = |kind| {
+            let (a, b) = (a.clone(), b.clone());
+            ptdf::run(Config::new(4, kind), move || strassen(&a, &b, &p)).1
+        };
+        let fifo = run_with(SchedKind::Fifo);
+        let df = run_with(SchedKind::Df);
+        assert!(
+            df.footprint() < fifo.footprint(),
+            "df {} vs fifo {}",
+            df.footprint(),
+            fifo.footprint()
+        );
+    }
+
+    #[test]
+    fn serial_mode_runs_the_same_code() {
+        let p = Params {
+            n: 64,
+            base: 16,
+            seed: 7,
+        };
+        let (a, b) = gen_input(&p);
+        let r = reference(&a, &b, p.n);
+        let (c, report) = ptdf::run_serial(ptdf::CostModel::ultrasparc_167(), || {
+            multiply(&a, &b, &p)
+        });
+        assert!(max_abs_diff(&c, &r) < 1e-9);
+        assert_eq!(report.stats.mem.threads_created, 0);
+        assert!(report.time.as_ns() > 0);
+    }
+}

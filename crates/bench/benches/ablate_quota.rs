@@ -1,0 +1,48 @@
+//! Ablation: the DF scheduler's memory quota `K` (§4 item 2).
+//!
+//! `K` is the space/time knob of the space-efficient scheduler: a small
+//! quota preempts allocating threads often and inserts many dummy threads
+//! (more scheduling overhead, tighter space); a large quota approaches the
+//! plain child-first scheduler. The paper inherits the `S1 + O(p·D)` bound
+//! whose constant scales with `K`.
+
+use ptdf::{Config, SchedKind};
+use ptdf_bench::{drivers, mb, Table};
+
+fn main() {
+    ptdf_bench::methodology_note();
+    let p = 8;
+    for app in [drivers::matmul_driver(), drivers::dtree_driver()] {
+        eprintln!("[ablate_quota] {} ...", app.name);
+        let serial = (app.serial)();
+        let mut t = Table::new(
+            &format!(
+                "ablate_quota_{}",
+                app.name.to_lowercase().replace([' ', '.'], "")
+            ),
+            &format!(
+                "Quota ablation: {} on {p} procs (serial space {} MB)",
+                app.name,
+                mb(serial.s1_bytes())
+            ),
+            &["K (KB)", "speedup", "memory (MB)", "dummies", "live thr"],
+        );
+        for k_kb in [4u64, 16, 64, 256, 1024, 8192] {
+            let cfg = Config::new(p, SchedKind::Df).with_quota(k_kb * 1024);
+            let r = (app.fine)(cfg);
+            t.row(vec![
+                k_kb.to_string(),
+                format!("{:.2}", r.speedup_vs(serial.time)),
+                mb(r.footprint()),
+                r.stats.mem.dummy_threads.to_string(),
+                r.max_live_threads().to_string(),
+            ]);
+        }
+        t.finish();
+    }
+    println!(
+        "expected: small K → more dummies/preemptions (slower) but lower\n\
+         footprint; large K → fewer scheduler interventions, footprint\n\
+         approaching the no-quota child-first behaviour."
+    );
+}

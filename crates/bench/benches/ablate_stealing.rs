@@ -1,0 +1,47 @@
+//! Ablation: the space-efficient DF scheduler vs Cilk-style work stealing
+//! (§2.1).
+//!
+//! Work stealing bounds space by `p · S1` (each processor holds a
+//! depth-first path); the DF scheduler bounds it by `S1 + O(p·D)`. For
+//! programs whose serial space is dominated by big temporaries (matmul),
+//! the difference shows as footprint growing ~linearly in `p` under
+//! stealing but staying near-flat under DF.
+
+use ptdf::{Config, SchedKind};
+use ptdf_bench::{drivers, mb, Table};
+
+fn main() {
+    ptdf_bench::methodology_note();
+    for app in [drivers::matmul_driver(), drivers::fmm_driver()] {
+        eprintln!("[ablate_stealing] {} ...", app.name);
+        let serial = (app.serial)();
+        let mut t = Table::new(
+            &format!(
+                "ablate_stealing_{}",
+                app.name.to_lowercase().replace([' ', '.'], "")
+            ),
+            &format!(
+                "DF vs work stealing: {} (serial space {} MB)",
+                app.name,
+                mb(serial.s1_bytes())
+            ),
+            &["p", "df speedup", "ws speedup", "df mem (MB)", "ws mem (MB)"],
+        );
+        for p in [1usize, 2, 4, 8, 16] {
+            let df = (app.fine)(Config::new(p, SchedKind::Df));
+            let ws = (app.fine)(Config::new(p, SchedKind::Ws));
+            t.row(vec![
+                p.to_string(),
+                format!("{:.2}", df.speedup_vs(serial.time)),
+                format!("{:.2}", ws.speedup_vs(serial.time)),
+                mb(df.footprint()),
+                mb(ws.footprint()),
+            ]);
+        }
+        t.finish();
+    }
+    println!(
+        "expected: comparable speedups; WS memory grows roughly linearly\n\
+         with p (≤ p·S1), DF memory stays near S1 + O(p·D)."
+    );
+}

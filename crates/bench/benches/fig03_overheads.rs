@@ -1,0 +1,116 @@
+//! Figure 3: thread operation overheads.
+//!
+//! Two tables:
+//!
+//! 1. The **modelled** Solaris 2.5 costs (what the virtual machine charges),
+//!    side by side with the paper's measured values — these match by
+//!    construction (they are the calibration).
+//! 2. The **real host** cost of the reproduction's own fiber/runtime
+//!    operations, measured with a simple median-of-batches timer — showing
+//!    that the substrate is genuinely lightweight (sub-microsecond context
+//!    switches), as a user-level threads library should be.
+
+use std::time::Instant;
+
+use ptdf_bench::Table;
+use ptdf_fiber::{Coroutine, Step};
+
+/// Median of `reps` timings of `batch` iterations of `f`, in ns/op.
+fn time_ns(reps: usize, batch: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            t0.elapsed().as_nanos() as f64 / batch as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[reps / 2]
+}
+
+fn main() {
+    ptdf_bench::methodology_note();
+
+    // Table 1: the model calibration.
+    let cost = ptdf::CostModel::ultrasparc_167();
+    let mut t = Table::new(
+        "fig03_model",
+        "Figure 3 (model): charged costs vs the paper's Solaris 2.5 measurements",
+        &["operation", "model (us)", "paper (us)"],
+    );
+    let us = |v: ptdf::VirtTime| format!("{:.1}", v.as_ns() as f64 / 1e3);
+    t.row(vec!["create (unbound, preallocated stack)".into(), us(cost.thread_create), "20.5".into()]);
+    t.row(vec!["join (exited thread)".into(), us(cost.join_exited), "~5".into()]);
+    t.row(vec!["context switch".into(), us(cost.ctx_switch), "~10".into()]);
+    t.row(vec![
+        "semaphore sync (2 threads, 1 switch)".into(),
+        format!(
+            "{:.1}",
+            (2 * cost.sync_op.as_ns() + cost.ctx_switch.as_ns()) as f64 / 1e3
+        ),
+        "19".into(),
+    ]);
+    t.row(vec![
+        "stack reservation 8KB (fresh)".into(),
+        us(cost.stack_fresh(8 * 1024)),
+        "200".into(),
+    ]);
+    t.row(vec![
+        "stack reservation 1MB (fresh)".into(),
+        us(cost.stack_fresh(1024 * 1024)),
+        "260".into(),
+    ]);
+    t.finish();
+
+    // Table 2: real host costs of the substrate.
+    let mut t = Table::new(
+        "fig03_host",
+        "Figure 3 (host): measured cost of this runtime's own operations",
+        &["operation", "ns/op"],
+    );
+
+    let create_destroy = time_ns(9, 2_000, || {
+        let co = Coroutine::<(), (), ()>::new(16 * 1024, |_, ()| ());
+        drop(co);
+    });
+    t.row(vec!["fiber create + drop (16KB stack)".into(), format!("{create_destroy:.0}")]);
+
+    let create_run = time_ns(9, 2_000, || {
+        let mut co = Coroutine::<(), (), ()>::new(16 * 1024, |_, ()| ());
+        assert_eq!(co.resume(()), Step::Complete(()));
+    });
+    t.row(vec!["fiber create + run + exit".into(), format!("{create_run:.0}")]);
+
+    // Context switch pair: resume into fiber + suspend back.
+    let mut co = Coroutine::<(), (), ()>::new(16 * 1024, |y, ()| loop {
+        y.suspend(());
+    });
+    let switch_pair = time_ns(9, 20_000, || {
+        co.resume(()).unwrap_yield();
+    });
+    t.row(vec![
+        "context switch pair (resume + suspend)".into(),
+        format!("{switch_pair:.0}"),
+    ]);
+    drop(co);
+
+    let spawn_join = time_ns(5, 200, || {
+        ptdf::run(ptdf::Config::new(1, ptdf::SchedKind::Df), || {
+            ptdf::spawn(|| ()).join();
+        });
+    });
+    t.row(vec![
+        "full runtime boot + spawn + join (host)".into(),
+        format!("{spawn_join:.0}"),
+    ]);
+    t.finish();
+
+    println!(
+        "paper context: Solaris user-level thread creation cost 20.5 us on a\n\
+         167 MHz UltraSPARC (~3400 cycles); the reproduction's fiber switch is\n\
+         tens of ns on modern hardware, i.e. the same 'user-level ops are\n\
+         10-100x cheaper than kernel threads' regime."
+    );
+}

@@ -1,0 +1,75 @@
+//! Criterion microbenchmarks of the runtime substrate itself (host-time,
+//! not virtual-time): fiber switching, spawn/join throughput, and engine
+//! overhead per scheduling decision under each policy.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ptdf::{Config, SchedKind};
+use ptdf_fiber::Coroutine;
+
+fn fiber_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fiber");
+    g.bench_function("create_drop", |b| {
+        b.iter(|| {
+            let co = Coroutine::<(), (), ()>::new(16 * 1024, |_, ()| ());
+            std::hint::black_box(&co);
+        })
+    });
+    g.bench_function("create_run_exit", |b| {
+        b.iter(|| {
+            let mut co = Coroutine::<(), (), u64>::new(16 * 1024, |_, ()| 42);
+            co.resume(()).unwrap_complete()
+        })
+    });
+    g.bench_function("switch_pair", |b| {
+        b.iter_batched_ref(
+            || {
+                Coroutine::<(), u64, ()>::new(16 * 1024, |y, ()| loop {
+                    y.suspend(1);
+                })
+            },
+            |co| co.resume(()).unwrap_yield(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn runtime_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime");
+    g.sample_size(20);
+    for kind in [SchedKind::Fifo, SchedKind::Df, SchedKind::Ws] {
+        g.bench_function(format!("spawn_join_100_{}", kind.name()), |b| {
+            b.iter(|| {
+                ptdf::run(Config::new(4, kind), || {
+                    let hs: Vec<_> = (0..100).map(|i| ptdf::spawn(move || i)).collect();
+                    hs.into_iter().map(|h| h.join()).sum::<u64>()
+                })
+                .0
+            })
+        });
+    }
+    g.bench_function("mutex_ping_pong_200", |b| {
+        b.iter(|| {
+            ptdf::run(Config::new(2, SchedKind::Df), || {
+                let m = ptdf::Mutex::new(0u64);
+                ptdf::scope(|s| {
+                    for _ in 0..2 {
+                        let m = m.clone();
+                        s.spawn(move || {
+                            for _ in 0..100 {
+                                *m.lock() += 1;
+                            }
+                        });
+                    }
+                });
+                let v = *m.lock();
+                v
+            })
+            .0
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fiber_ops, runtime_ops);
+criterion_main!(benches);

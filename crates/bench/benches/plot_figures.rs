@@ -1,0 +1,170 @@
+//! Renders the experiment CSVs (written by the other bench targets) into
+//! SVG figures mirroring the paper's plots. Run the figure harnesses first
+//! (`./repro.sh`), then this target; SVGs land next to the CSVs.
+
+use ptdf_bench::plot::{line_chart, parse_csv, Series};
+use ptdf_bench::experiments_dir;
+
+fn load(name: &str) -> Option<(Vec<String>, Vec<Vec<String>>)> {
+    let path = experiments_dir().join(format!("{name}.csv"));
+    let body = std::fs::read_to_string(&path).ok()?;
+    Some(parse_csv(&body))
+}
+
+fn col(headers: &[String], name: &str) -> Option<usize> {
+    headers.iter().position(|h| h == name)
+}
+
+fn f(v: &str) -> Option<f64> {
+    v.trim().parse().ok()
+}
+
+/// Builds one series per distinct value of `group_col`, x from `x_col`,
+/// y from `y_col`.
+fn grouped_series(
+    headers: &[String],
+    rows: &[Vec<String>],
+    group_col: &str,
+    x_col: &str,
+    y_col: &str,
+) -> Vec<Series> {
+    let (Some(g), Some(x), Some(y)) = (
+        col(headers, group_col),
+        col(headers, x_col),
+        col(headers, y_col),
+    ) else {
+        return Vec::new();
+    };
+    let mut series: Vec<Series> = Vec::new();
+    for row in rows {
+        let (Some(xv), Some(yv)) = (f(&row[x]), f(&row[y])) else {
+            continue;
+        };
+        let label = row[g].clone();
+        match series.iter_mut().find(|s| s.label == label) {
+            Some(s) => s.points.push((xv, yv)),
+            None => series.push(Series {
+                label,
+                points: vec![(xv, yv)],
+            }),
+        }
+    }
+    series
+}
+
+/// Builds one series per named y column over a shared x column.
+fn column_series(
+    headers: &[String],
+    rows: &[Vec<String>],
+    x_col: &str,
+    y_cols: &[&str],
+) -> Vec<Series> {
+    let Some(x) = col(headers, x_col) else {
+        return Vec::new();
+    };
+    y_cols
+        .iter()
+        .filter_map(|name| {
+            let y = col(headers, name)?;
+            let points: Vec<(f64, f64)> = rows
+                .iter()
+                .filter_map(|r| Some((f(&r[x])?, f(&r[y])?)))
+                .collect();
+            (!points.is_empty()).then(|| Series {
+                label: (*name).to_string(),
+                points,
+            })
+        })
+        .collect()
+}
+
+fn save(name: &str, svg: &str) {
+    let path = experiments_dir().join(format!("{name}.svg"));
+    std::fs::write(&path, svg).expect("write svg");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let mut plotted = 0;
+
+    if let Some((h, rows)) = load("fig05_matmul_native") {
+        let rows: Vec<_> = rows
+            .into_iter()
+            .filter(|r| f(&r[0]).is_some()) // drop the "serial" row
+            .collect();
+        let s = column_series(&h, &rows, "p", &["speedup"]);
+        save(
+            "fig05a_speedup",
+            &line_chart("Fig 5(a): matmul, native FIFO scheduler", "processors", "speedup", &s),
+        );
+        let m = column_series(&h, &rows, "p", &["memory (MB)"]);
+        save(
+            "fig05b_memory",
+            &line_chart("Fig 5(b): matmul memory, native scheduler", "processors", "MB", &m),
+        );
+        plotted += 2;
+    }
+
+    if let Some((h, rows)) = load("fig07_matmul_sched") {
+        let s = grouped_series(&h, &rows, "scheduler", "p", "speedup");
+        save(
+            "fig07a_speedup",
+            &line_chart("Fig 7(a): matmul speedup by scheduler", "processors", "speedup", &s),
+        );
+        let m = grouped_series(&h, &rows, "scheduler", "p", "memory (MB)");
+        save(
+            "fig07b_memory",
+            &line_chart("Fig 7(b): matmul memory by scheduler", "processors", "MB", &m),
+        );
+        plotted += 2;
+    }
+
+    for (csv, out, title) in [
+        ("fig09a_fmm", "fig09a_fmm", "Fig 9(a): FMM memory"),
+        ("fig09b_dtree", "fig09b_dtree", "Fig 9(b): decision-tree memory"),
+    ] {
+        if let Some((h, rows)) = load(csv) {
+            let s = column_series(&h, &rows, "p", &["orig (MB)", "new (MB)"]);
+            save(out, &line_chart(title, "processors", "MB", &s));
+            plotted += 1;
+        }
+    }
+
+    if let Some((h, rows)) = load("fig10_fft") {
+        let s = column_series(
+            &h,
+            &rows,
+            "p",
+            &["p threads (ms)", "256 thr orig (ms)", "256 thr new (ms)"],
+        );
+        save(
+            "fig10_fft",
+            &line_chart("Fig 10: DFT running time", "processors", "virtual ms", &s),
+        );
+        plotted += 1;
+    }
+
+    if let Some((h, rows)) = load("fig11_granularity") {
+        let s = column_series(
+            &h,
+            &rows,
+            "tiles/thread",
+            &["orig sched", "new sched", "df+locality (§5.3)"],
+        );
+        save(
+            "fig11_granularity",
+            &line_chart("Fig 11: volrend speedup vs granularity", "tiles per thread", "speedup", &s),
+        );
+        plotted += 1;
+    }
+
+    if plotted == 0 {
+        println!(
+            "no CSVs found under {} — run ./repro.sh (or the individual\n\
+             bench targets) first, then re-run this target",
+            experiments_dir().display()
+        );
+    } else {
+        println!("{plotted} figures rendered into {}", experiments_dir().display());
+    }
+}

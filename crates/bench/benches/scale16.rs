@@ -1,0 +1,52 @@
+//! §5.2 scalability: the benchmarks on up to 16 processors, and the onset
+//! of the global scheduler lock as the serialization point the paper's §6
+//! predicts ("we do not expect such a serialized scheduler to scale well
+//! beyond 16 processors").
+
+use ptdf::{Config, SchedKind};
+use ptdf_bench::{drivers, speedup, Table};
+
+fn main() {
+    ptdf_bench::methodology_note();
+    for app in [
+        drivers::matmul_driver(),
+        drivers::barnes_hut_driver(),
+        drivers::spmv_driver(),
+    ] {
+        eprintln!("[scale16] {} ...", app.name);
+        let serial = (app.serial)();
+        let mut t = Table::new(
+            &format!(
+                "scale16_{}",
+                app.name.to_lowercase().replace([' ', '.'], "")
+            ),
+            &format!(
+                "Scalability to 16 processors: {} (serialized DF vs parallelized DFDeques)",
+                app.name
+            ),
+            &[
+                "p",
+                "df speedup",
+                "df lock wait (ms)",
+                "df-deques speedup",
+                "deques lock wait (ms)",
+            ],
+        );
+        for p in [1usize, 2, 4, 8, 12, 16] {
+            let r = (app.fine)(Config::new(p, SchedKind::Df));
+            let d = (app.fine)(Config::new(p, SchedKind::DfDeques));
+            t.row(vec![
+                p.to_string(),
+                speedup(&r, serial.time),
+                format!("{:.2}", r.stats.sched_lock_wait.as_millis_f64()),
+                speedup(&d, serial.time),
+                format!("{:.2}", d.stats.sched_lock_wait.as_millis_f64()),
+            ]);
+        }
+        t.finish();
+    }
+    println!(
+        "expected: near-linear speedup through 8-16 processors with the\n\
+         scheduler-lock wait share growing — the serialization §6 warns of."
+    );
+}

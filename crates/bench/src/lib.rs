@@ -1,0 +1,203 @@
+//! Shared harness utilities for the experiment benches.
+//!
+//! Every bench target regenerates one table or figure of the paper: it runs
+//! the relevant benchmark under the relevant configurations, prints an
+//! aligned text table with the same rows/series the paper reports, and
+//! writes a CSV under `target/experiments/` for plotting.
+//!
+//! Environment knobs:
+//!
+//! * `REPRO_FULL=1` — run the paper's full problem sizes (slower). The
+//!   default sizes are scaled down so `cargo bench` completes quickly;
+//!   the *shapes* of the results are the same.
+//! * `REPRO_PROCS=1,2,4,8` — override the processor counts swept.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+pub mod drivers;
+pub mod plot;
+
+pub use ptdf::{Config, CostModel, Report, SchedKind, SerialReport, VirtTime};
+
+/// True when the paper's full problem sizes were requested.
+pub fn full_scale() -> bool {
+    std::env::var("REPRO_FULL").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+}
+
+/// Processor counts to sweep (default 1..=8 like the paper's figures).
+pub fn procs_list() -> Vec<usize> {
+    if let Ok(v) = std::env::var("REPRO_PROCS") {
+        return v
+            .split(',')
+            .filter_map(|t| t.trim().parse().ok())
+            .collect();
+    }
+    vec![1, 2, 3, 4, 5, 6, 7, 8]
+}
+
+/// A result table being accumulated.
+pub struct Table {
+    name: String,
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table; `name` is the CSV file stem, `title` the heading.
+    pub fn new(name: &str, title: &str, headers: &[&str]) -> Self {
+        Table {
+            name: name.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Prints the aligned table and writes the CSV; returns the CSV path.
+    pub fn finish(&self) -> PathBuf {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n=== {} ===", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let _ = writeln!(
+            out,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        println!("{out}");
+        // CSV.
+        let dir = experiments_dir();
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join(format!("{}.csv", self.name));
+        let mut csv = csv_line(&self.headers);
+        for row in &self.rows {
+            csv.push_str(&csv_line(row));
+        }
+        let _ = std::fs::write(&path, csv);
+        println!("[csv written to {}]", path.display());
+        path
+    }
+}
+
+/// Directory the CSVs are written to: `target/experiments/` at the
+/// workspace root (stable regardless of the CWD cargo gives the bench
+/// binary), overridable with `REPRO_OUT`.
+pub fn experiments_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("REPRO_OUT") {
+        return PathBuf::from(dir);
+    }
+    // CARGO_MANIFEST_DIR (compile-time) = <workspace>/crates/bench.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|ws| ws.join("target/experiments"))
+        .unwrap_or_else(|| PathBuf::from("target/experiments"))
+}
+
+/// Serializes one CSV record, quoting fields that contain commas, quotes,
+/// or newlines (RFC 4180).
+fn csv_line(cells: &[String]) -> String {
+    let mut out = String::new();
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if c.contains([',', '"', '\n']) {
+            out.push('"');
+            out.push_str(&c.replace('"', "\"\""));
+            out.push('"');
+        } else {
+            out.push_str(c);
+        }
+    }
+    out.push('\n');
+    out
+}
+
+/// Formats a byte count as MB with two decimals.
+pub fn mb(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Formats a speedup.
+pub fn speedup(report: &Report, serial: VirtTime) -> String {
+    format!("{:.2}", report.speedup_vs(serial))
+}
+
+/// Standard note emitted by every harness about the methodology.
+pub fn methodology_note() {
+    println!(
+        "[virtual-time SMP model calibrated to a 167 MHz UltraSPARC / Solaris 2.5; \
+         see DESIGN.md — shapes, not absolute hardware times, are the claim]"
+    );
+    if !full_scale() {
+        println!("[scaled-down default sizes; set REPRO_FULL=1 for the paper's sizes]");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_quotes_fields_with_commas_and_quotes() {
+        let line = csv_line(&[
+            "plain".into(),
+            "has, comma".into(),
+            "has \"quote\"".into(),
+        ]);
+        assert_eq!(line, "plain,\"has, comma\",\"has \"\"quote\"\"\"\n");
+    }
+
+    #[test]
+    fn table_writes_csv_with_all_rows() {
+        let dir = std::env::temp_dir().join("ptdf_table_test");
+        std::env::set_var("REPRO_OUT", &dir);
+        let mut t = Table::new("unit_test_table", "t", &["a", "b"]);
+        t.row(vec!["1".into(), "x, y".into()]);
+        t.row(vec!["2".into(), "z".into()]);
+        let path = t.finish();
+        std::env::remove_var("REPRO_OUT");
+        let body = std::fs::read_to_string(path).unwrap();
+        assert_eq!(body, "a,b\n1,\"x, y\"\n2,z\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn experiments_dir_is_workspace_rooted() {
+        let d = experiments_dir();
+        assert!(d.ends_with("target/experiments"), "{d:?}");
+        assert!(!d.to_string_lossy().contains("crates"), "{d:?}");
+    }
+}

@@ -1,0 +1,271 @@
+//! Minimal dependency-free SVG line charts for the experiment CSVs.
+//!
+//! The `plot_figures` bench target turns the CSVs under
+//! `target/experiments/` into SVG plots mirroring the paper's figures.
+
+use std::fmt::Write as _;
+
+/// One line series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// (x, y) points in data coordinates.
+    pub points: Vec<(f64, f64)>,
+}
+
+const PALETTE: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b",
+];
+
+const W: f64 = 640.0;
+const H: f64 = 420.0;
+const ML: f64 = 64.0; // margins
+const MR: f64 = 18.0;
+const MT: f64 = 40.0;
+const MB: f64 = 52.0;
+
+fn nice_ticks(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
+        return vec![lo];
+    }
+    let raw = (hi - lo) / n as f64;
+    let mag = 10f64.powf(raw.log10().floor());
+    let step = [1.0, 2.0, 2.5, 5.0, 10.0]
+        .iter()
+        .map(|m| m * mag)
+        .find(|&s| s >= raw)
+        .unwrap_or(mag * 10.0);
+    let start = (lo / step).floor() * step;
+    let mut ticks = Vec::new();
+    let mut t = start;
+    while t <= hi + step * 0.001 {
+        if t >= lo - step * 0.001 {
+            ticks.push(t);
+        }
+        t += step;
+    }
+    ticks
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 100.0 || v.fract().abs() < 1e-9 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Renders a line chart as a standalone SVG document.
+pub fn line_chart(title: &str, xlabel: &str, ylabel: &str, series: &[Series]) -> String {
+    let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut ymin, mut ymax) = (0.0f64, f64::NEG_INFINITY);
+    for s in series {
+        for &(x, y) in &s.points {
+            xmin = xmin.min(x);
+            xmax = xmax.max(x);
+            ymin = ymin.min(y);
+            ymax = ymax.max(y);
+        }
+    }
+    if !xmin.is_finite() {
+        xmin = 0.0;
+        xmax = 1.0;
+        ymax = 1.0;
+    }
+    if ymax <= ymin {
+        ymax = ymin + 1.0;
+    }
+    ymax *= 1.05;
+    let px = |x: f64| ML + (x - xmin) / (xmax - xmin).max(1e-12) * (W - ML - MR);
+    let py = |y: f64| H - MB - (y - ymin) / (ymax - ymin) * (H - MT - MB);
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}" font-family="sans-serif">"#
+    );
+    let _ = write!(
+        svg,
+        r#"<rect width="{W}" height="{H}" fill="white"/><text x="{}" y="22" text-anchor="middle" font-size="15" font-weight="bold">{}</text>"#,
+        W / 2.0,
+        xml(title)
+    );
+    // Axes + grid.
+    for t in nice_ticks(ymin, ymax, 5) {
+        let y = py(t);
+        let _ = write!(
+            svg,
+            r##"<line x1="{ML}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#e0e0e0"/><text x="{:.1}" y="{:.1}" text-anchor="end" font-size="11">{}</text>"##,
+            W - MR,
+            ML - 6.0,
+            y + 4.0,
+            fmt_tick(t)
+        );
+    }
+    for t in nice_ticks(xmin, xmax, 7) {
+        let x = px(t);
+        let _ = write!(
+            svg,
+            r##"<line x1="{x:.1}" y1="{MT}" x2="{x:.1}" y2="{:.1}" stroke="#f0f0f0"/><text x="{x:.1}" y="{:.1}" text-anchor="middle" font-size="11">{}</text>"##,
+            H - MB,
+            H - MB + 16.0,
+            fmt_tick(t)
+        );
+    }
+    let _ = write!(
+        svg,
+        r##"<line x1="{ML}" y1="{MT}" x2="{ML}" y2="{0:.1}" stroke="black"/><line x1="{ML}" y1="{0:.1}" x2="{1:.1}" y2="{0:.1}" stroke="black"/>"##,
+        H - MB,
+        W - MR
+    );
+    // Axis labels.
+    let _ = write!(
+        svg,
+        r#"<text x="{:.1}" y="{:.1}" text-anchor="middle" font-size="12">{}</text>"#,
+        (ML + W - MR) / 2.0,
+        H - 12.0,
+        xml(xlabel)
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="16" y="{:.1}" text-anchor="middle" font-size="12" transform="rotate(-90 16 {:.1})">{}</text>"#,
+        (MT + H - MB) / 2.0,
+        (MT + H - MB) / 2.0,
+        xml(ylabel)
+    );
+    // Series.
+    for (i, s) in series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let pts: String = s
+            .points
+            .iter()
+            .map(|&(x, y)| format!("{:.1},{:.1} ", px(x), py(y)))
+            .collect();
+        let _ = write!(
+            svg,
+            r#"<polyline points="{pts}" fill="none" stroke="{color}" stroke-width="2"/>"#
+        );
+        for &(x, y) in &s.points {
+            let _ = write!(
+                svg,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"#,
+                px(x),
+                py(y)
+            );
+        }
+        // Legend.
+        let ly = MT + 8.0 + i as f64 * 16.0;
+        let _ = write!(
+            svg,
+            r#"<line x1="{:.1}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{color}" stroke-width="2"/><text x="{:.1}" y="{:.1}" font-size="11">{}</text>"#,
+            W - MR - 150.0,
+            W - MR - 128.0,
+            W - MR - 122.0,
+            ly + 4.0,
+            xml(&s.label)
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+fn xml(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Parses a CSV written by [`crate::Table`] into (headers, rows). Handles
+/// the quoting produced by the writer.
+pub fn parse_csv(body: &str) -> (Vec<String>, Vec<Vec<String>>) {
+    let mut lines = body.lines();
+    let headers = lines.next().map(split_csv_line).unwrap_or_default();
+    let rows = lines.map(split_csv_line).collect();
+    (headers, rows)
+}
+
+fn split_csv_line(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes && chars.peek() == Some(&'"') => {
+                cur.push('"');
+                chars.next();
+            }
+            '"' => in_quotes = !in_quotes,
+            ',' if !in_quotes => {
+                out.push(std::mem::take(&mut cur));
+            }
+            c => cur.push(c),
+        }
+    }
+    out.push(cur);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_is_valid_svg_with_all_series() {
+        let svg = line_chart(
+            "Title <x>",
+            "p",
+            "speedup",
+            &[
+                Series {
+                    label: "fifo".into(),
+                    points: vec![(1.0, 1.0), (2.0, 1.8), (4.0, 2.5)],
+                },
+                Series {
+                    label: "df & co".into(),
+                    points: vec![(1.0, 1.0), (2.0, 1.9), (4.0, 3.7)],
+                },
+            ],
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("Title &lt;x&gt;"), "XML escaping");
+        assert!(svg.contains("df &amp; co"));
+    }
+
+    #[test]
+    fn nice_ticks_cover_range() {
+        let t = nice_ticks(0.0, 8.3, 5);
+        assert!(t.first().copied().unwrap() <= 0.0 + 1e-9);
+        assert!(*t.last().unwrap() <= 8.3 + 1e-9);
+        assert!(t.len() >= 3);
+    }
+
+    #[test]
+    fn csv_roundtrip_with_quotes() {
+        let (h, rows) = parse_csv("a,b\n1,\"x, y\"\n2,\"he said \"\"hi\"\"\"\n");
+        assert_eq!(h, vec!["a", "b"]);
+        assert_eq!(rows[0], vec!["1", "x, y"]);
+        assert_eq!(rows[1], vec!["2", "he said \"hi\""]);
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        let svg = line_chart("t", "x", "y", &[]);
+        assert!(svg.contains("</svg>"));
+        let svg = line_chart(
+            "t",
+            "x",
+            "y",
+            &[Series {
+                label: "one point".into(),
+                points: vec![(3.0, 3.0)],
+            }],
+        );
+        assert!(svg.contains("<circle"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Seeded random fork-join program generation (for property tests and the
+//! scheduler-bound experiments).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::program::{Action, Program, ThreadSpec};
+
+/// Shape parameters for [`gen_program`].
+#[derive(Debug, Clone, Copy)]
+pub struct GenParams {
+    /// Upper bound on total thread count.
+    pub max_threads: usize,
+    /// Maximum fork-tree depth.
+    pub max_depth: u32,
+    /// Maximum units for a single `Work` action.
+    pub max_work: u64,
+    /// Maximum bytes for a single `Alloc` (0 disables allocations).
+    pub max_alloc: u64,
+    /// Probability (0..=100) that an interior position forks a child.
+    pub fork_percent: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GenParams {
+    fn default() -> Self {
+        GenParams {
+            max_threads: 200,
+            max_depth: 8,
+            max_work: 20,
+            max_alloc: 1000,
+            fork_percent: 60,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates a valid random fork-join program: a tree of threads, each a
+/// random interleaving of work, balanced alloc/free pairs, and fork/join
+/// pairs (every fork is joined before the thread exits, in fork order or
+/// reverse order at random).
+pub fn gen_program(params: GenParams) -> Program {
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+    let mut threads = vec![ThreadSpec::default()];
+    gen_thread(&mut threads, 0, 0, &params, &mut rng);
+    Program { threads }
+}
+
+fn gen_thread(
+    threads: &mut Vec<ThreadSpec>,
+    me: usize,
+    depth: u32,
+    params: &GenParams,
+    rng: &mut SmallRng,
+) {
+    let mut actions = Vec::new();
+    let mut children = Vec::new();
+    let mut open_allocs: Vec<u64> = Vec::new();
+    let segments = rng.gen_range(1..=5);
+    for _ in 0..segments {
+        match rng.gen_range(0..100u32) {
+            x if x < params.fork_percent
+                && depth < params.max_depth
+                && threads.len() < params.max_threads =>
+            {
+                let c = threads.len();
+                threads.push(ThreadSpec::default());
+                gen_thread(threads, c, depth + 1, params, rng);
+                actions.push(Action::Fork(c));
+                children.push(c);
+            }
+            x if x < 80 || params.max_alloc == 0 => {
+                actions.push(Action::Work(rng.gen_range(1..=params.max_work)));
+            }
+            _ => {
+                let b = rng.gen_range(1..=params.max_alloc);
+                actions.push(Action::Alloc(b));
+                open_allocs.push(b);
+            }
+        }
+        // Sometimes join an outstanding child early.
+        if !children.is_empty() && rng.gen_bool(0.3) {
+            let c = children.remove(rng.gen_range(0..children.len()));
+            actions.push(Action::Join(c));
+        }
+        // Sometimes free an outstanding allocation.
+        if !open_allocs.is_empty() && rng.gen_bool(0.4) {
+            let b = open_allocs.pop().unwrap();
+            actions.push(Action::Free(b));
+        }
+    }
+    // Join everything still outstanding (reverse order), free the rest.
+    if rng.gen_bool(0.5) {
+        children.reverse();
+    }
+    for c in children {
+        actions.push(Action::Join(c));
+    }
+    for b in open_allocs.into_iter().rev() {
+        actions.push(Action::Free(b));
+    }
+    if actions.is_empty() {
+        actions.push(Action::Work(1));
+    }
+    threads[me].actions = actions;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::validate;
+
+    #[test]
+    fn generated_programs_are_valid() {
+        for seed in 0..50 {
+            let p = gen_program(GenParams {
+                seed,
+                ..GenParams::default()
+            });
+            validate(&p).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(p.len() <= 200);
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = gen_program(GenParams::default());
+        let b = gen_program(GenParams::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fork_percent_zero_gives_single_thread() {
+        let p = gen_program(GenParams {
+            fork_percent: 0,
+            ..GenParams::default()
+        });
+        assert_eq!(p.len(), 1);
+    }
+}

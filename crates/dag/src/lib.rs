@@ -1,0 +1,93 @@
+//! Fork-join computation-graph model and scheduler space analysis.
+//!
+//! The paper's Figure 1 explains scheduler space behaviour on an abstract
+//! computation graph: nodes are actions within threads, solid edges are
+//! forks, dashed edges are joins. This crate models such graphs as
+//! [`Program`]s, computes their serial space `S1`, critical path `D`, and
+//! total work `W`, and simulates the execution policies (FIFO queue, LIFO
+//! queue, child-first depth-first, work stealing) on `p` abstract
+//! processors, reporting the maximum number of simultaneously live threads
+//! and the space high-water mark.
+//!
+//! The same [`Program`] can be lowered onto the real `ptdf` runtime (see the
+//! workspace integration tests), so the abstract analysis and the concrete
+//! scheduler can be property-tested against each other.
+
+#![warn(missing_docs)]
+
+mod analysis;
+mod generate;
+mod program;
+mod sim;
+
+pub use analysis::{critical_path, max_path_threads, serial_space, total_work, validate};
+pub use generate::{gen_program, GenParams};
+pub use program::{Action, Program, ThreadSpec};
+pub use sim::{simulate, PolicyKind, SimResult};
+
+/// The example graph of the paper's Figure 1: a three-level binary tree of
+/// seven threads, where each interior thread forks both children before
+/// joining them. A serial FIFO execution makes all 7 threads simultaneously
+/// active; a child-first (depth-first) execution needs at most `d = 3`.
+pub fn fig1_example() -> Program {
+    // Thread indices: 0 = root; 1,2 = children; 3,4 = children of 1;
+    // 5,6 = children of 2. Each thread does a unit of work around its forks.
+    let interior = |a: usize, b: usize| ThreadSpec {
+        actions: vec![
+            Action::Work(1),
+            Action::Fork(a),
+            Action::Fork(b),
+            Action::Work(1),
+            Action::Join(a),
+            Action::Join(b),
+            Action::Work(1),
+        ],
+    };
+    let leaf = || ThreadSpec {
+        actions: vec![Action::Work(2)],
+    };
+    Program {
+        threads: vec![
+            interior(1, 2),
+            interior(3, 4),
+            interior(5, 6),
+            leaf(),
+            leaf(),
+            leaf(),
+            leaf(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_validates() {
+        validate(&fig1_example()).unwrap();
+    }
+
+    #[test]
+    fn fig1_fifo_activates_all_seven() {
+        let r = simulate(&fig1_example(), PolicyKind::FifoQueue, 1);
+        assert_eq!(r.max_live_threads, 7);
+    }
+
+    #[test]
+    fn fig1_child_first_needs_three() {
+        let r = simulate(&fig1_example(), PolicyKind::ChildFirst, 1);
+        assert_eq!(r.max_live_threads, 3);
+    }
+
+    #[test]
+    fn fig1_queue_lifo_between() {
+        let r = simulate(&fig1_example(), PolicyKind::LifoQueue, 1);
+        assert!(r.max_live_threads > 3 && r.max_live_threads < 7);
+    }
+
+    #[test]
+    fn fig1_depth_is_three() {
+        assert_eq!(max_path_threads(&fig1_example()), 3);
+    }
+}

@@ -1,0 +1,57 @@
+//! The program (computation graph) representation.
+
+/// One step of a thread's sequential action list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// `u` units of computation.
+    Work(u64),
+    /// Allocate `bytes` of heap.
+    Alloc(u64),
+    /// Free `bytes` of heap previously allocated *by this thread*.
+    Free(u64),
+    /// Fork child thread `i` (an index into [`Program::threads`]).
+    Fork(usize),
+    /// Join child thread `i` (must have been forked by this thread).
+    Join(usize),
+}
+
+/// A thread: a straight-line sequence of actions.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ThreadSpec {
+    /// The actions, executed in order.
+    pub actions: Vec<Action>,
+}
+
+/// A fork-join program. Thread 0 is the root; every other thread must be
+/// forked exactly once, forming a tree. Joins are optional but must follow
+/// the corresponding fork in the forking thread.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// All threads; index = thread id.
+    pub threads: Vec<ThreadSpec>,
+}
+
+impl Program {
+    /// Number of threads.
+    pub fn len(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// True when the program has no threads.
+    pub fn is_empty(&self) -> bool {
+        self.threads.is_empty()
+    }
+
+    /// Parent of each thread (root has none).
+    pub fn parents(&self) -> Vec<Option<usize>> {
+        let mut parent = vec![None; self.threads.len()];
+        for (i, t) in self.threads.iter().enumerate() {
+            for a in &t.actions {
+                if let Action::Fork(c) = a {
+                    parent[*c] = Some(i);
+                }
+            }
+        }
+        parent
+    }
+}

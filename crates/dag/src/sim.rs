@@ -1,0 +1,471 @@
+//! Abstract policy simulator: executes a [`Program`] on `p` unit-cost
+//! processors under each scheduling policy, tracking live threads and space.
+//!
+//! This is the lightweight analytical twin of the real `ptdf` engine: no
+//! fibers, no cost model — just the scheduling discipline. It exists to
+//! reproduce the paper's Figure 1 argument exactly and to property-test the
+//! space behaviour of the disciplines at scale.
+
+use std::collections::VecDeque;
+
+use crate::program::{Action, Program};
+
+/// Scheduling discipline for the abstract simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Global FIFO queue; forked children enqueued, parent continues
+    /// (stock Solaris; breadth-first).
+    FifoQueue,
+    /// Global LIFO stack; forked children pushed, parent continues
+    /// (the paper's §4 item 1).
+    LifoQueue,
+    /// Child-first depth-first: fork preempts the parent (re-queued at its
+    /// serial position) and runs the child — the discipline of the paper's
+    /// space-efficient scheduler, without the memory quota.
+    ChildFirst,
+    /// Per-processor work stealing, child-first, steal oldest.
+    WorkStealing,
+}
+
+/// Result of an abstract simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimResult {
+    /// Completion time in work units (idle processors wait for free work).
+    pub makespan: u64,
+    /// Peak number of simultaneously live (created, not exited) threads.
+    pub max_live_threads: usize,
+    /// Peak live allocated bytes.
+    pub space_hwm: u64,
+    /// Total threads that ever existed.
+    pub total_threads: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TState {
+    Unborn,
+    Ready,
+    Running,
+    Blocked,
+    Exited,
+}
+
+struct Sim<'a> {
+    p: &'a Program,
+    policy: PolicyKind,
+    procs: usize,
+    // per-thread
+    state: Vec<TState>,
+    pc: Vec<usize>,
+    joiner: Vec<Option<usize>>,
+    finish: Vec<u64>,
+    blocked_at: Vec<u64>,
+    // global ready structures
+    queue: VecDeque<(usize, u64)>, // (thread, publish time) FIFO/LIFO
+    df_order: Vec<usize>,          // ChildFirst: serial-ordered live list
+    df_ready: Vec<bool>,
+    df_pub: Vec<u64>,
+    deques: Vec<VecDeque<(usize, u64)>>, // WorkStealing
+    handoff: Vec<Option<usize>>,
+    // metrics
+    live: usize,
+    live_hwm: usize,
+    total: usize,
+    space: u64,
+    space_hwm: u64,
+    rng: u64,
+}
+
+impl<'a> Sim<'a> {
+    fn new(p: &'a Program, policy: PolicyKind, procs: usize) -> Self {
+        let n = p.threads.len();
+        Sim {
+            p,
+            policy,
+            procs,
+            state: vec![TState::Unborn; n],
+            pc: vec![0; n],
+            joiner: vec![None; n],
+            finish: vec![0; n],
+            blocked_at: vec![0; n],
+            queue: VecDeque::new(),
+            df_order: Vec::new(),
+            df_ready: vec![false; n],
+            df_pub: vec![0; n],
+            deques: vec![VecDeque::new(); procs],
+            handoff: vec![None; procs],
+            live: 0,
+            live_hwm: 0,
+            total: 0,
+            space: 0,
+            space_hwm: 0,
+            rng: 0x243F6A8885A308D3,
+        }
+    }
+
+    fn birth(&mut self, t: usize) {
+        debug_assert_eq!(self.state[t], TState::Unborn);
+        self.live += 1;
+        self.total += 1;
+        self.live_hwm = self.live_hwm.max(self.live);
+    }
+
+    fn publish(&mut self, t: usize, at: u64, home: usize, parent: Option<usize>) {
+        self.state[t] = TState::Ready;
+        match self.policy {
+            PolicyKind::FifoQueue | PolicyKind::LifoQueue => self.queue.push_back((t, at)),
+            PolicyKind::ChildFirst => {
+                if !self.df_order.contains(&t) {
+                    // Insert at the parent's position (immediately left) or
+                    // at the end for the root.
+                    let idx = parent
+                        .and_then(|par| self.df_order.iter().position(|&x| x == par))
+                        .unwrap_or(self.df_order.len());
+                    self.df_order.insert(idx, t);
+                }
+                self.df_ready[t] = true;
+                self.df_pub[t] = at;
+            }
+            PolicyKind::WorkStealing => self.deques[home].push_back((t, at)),
+        }
+    }
+
+    /// Places a placeholder for a thread that will run via handoff.
+    fn place_df_placeholder(&mut self, t: usize, parent: usize) {
+        if self.policy == PolicyKind::ChildFirst {
+            let idx = self
+                .df_order
+                .iter()
+                .position(|&x| x == parent)
+                .unwrap_or(self.df_order.len());
+            self.df_order.insert(idx, t);
+            self.df_ready[t] = false;
+        }
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Pop an eligible thread for processor `q` at time `now`; returns
+    /// Err(Some(t)) if the earliest entry is in the future at time t,
+    /// Err(None) if no entries exist.
+    fn pop(&mut self, q: usize, now: u64) -> Result<usize, Option<u64>> {
+        match self.policy {
+            PolicyKind::FifoQueue => {
+                if let Some(i) = self.queue.iter().position(|&(_, at)| at <= now) {
+                    let (t, _) = self.queue.remove(i).unwrap();
+                    return Ok(t);
+                }
+                Err(self.queue.iter().map(|&(_, at)| at).min())
+            }
+            PolicyKind::LifoQueue => {
+                if let Some(i) = self.queue.iter().rposition(|&(_, at)| at <= now) {
+                    let (t, _) = self.queue.remove(i).unwrap();
+                    return Ok(t);
+                }
+                Err(self.queue.iter().map(|&(_, at)| at).min())
+            }
+            PolicyKind::ChildFirst => {
+                let mut earliest = None;
+                for i in 0..self.df_order.len() {
+                    let t = self.df_order[i];
+                    if self.df_ready[t] {
+                        if self.df_pub[t] <= now {
+                            self.df_ready[t] = false;
+                            return Ok(t);
+                        }
+                        earliest = Some(
+                            earliest.map_or(self.df_pub[t], |e: u64| e.min(self.df_pub[t])),
+                        );
+                    }
+                }
+                Err(earliest)
+            }
+            PolicyKind::WorkStealing => {
+                if let Some(i) = self.deques[q].iter().rposition(|&(_, at)| at <= now) {
+                    let (t, _) = self.deques[q].remove(i).unwrap();
+                    return Ok(t);
+                }
+                let mut earliest: Option<u64> =
+                    self.deques[q].iter().map(|&(_, at)| at).min();
+                let start = (self.next_rand() % self.procs as u64) as usize;
+                for k in 0..self.procs {
+                    let v = (start + k) % self.procs;
+                    if v == q {
+                        continue;
+                    }
+                    if let Some(i) = self.deques[v].iter().position(|&(_, at)| at <= now) {
+                        let (t, _) = self.deques[v].remove(i).unwrap();
+                        return Ok(t);
+                    }
+                    if let Some(m) = self.deques[v].iter().map(|&(_, at)| at).min() {
+                        earliest = Some(earliest.map_or(m, |e| e.min(m)));
+                    }
+                }
+                Err(earliest)
+            }
+        }
+    }
+
+    fn child_first(&self) -> bool {
+        matches!(
+            self.policy,
+            PolicyKind::ChildFirst | PolicyKind::WorkStealing
+        )
+    }
+
+    /// Runs thread `t` on processor `q` from its pc until it blocks, forks
+    /// (child-first), or exits. Returns the new clock.
+    fn run_segment(&mut self, t: usize, q: usize, mut now: u64) -> u64 {
+        self.state[t] = TState::Running;
+        loop {
+            let action = self.p.threads[t].actions.get(self.pc[t]).copied();
+            match action {
+                None => {
+                    // Exit.
+                    self.state[t] = TState::Exited;
+                    self.finish[t] = now;
+                    self.live -= 1;
+                    if self.policy == PolicyKind::ChildFirst {
+                        self.df_order.retain(|&x| x != t);
+                    }
+                    if let Some(j) = self.joiner[t].take() {
+                        let at = now.max(self.blocked_at[j]);
+                        self.publish(j, at, q, None);
+                    }
+                    return now;
+                }
+                Some(Action::Work(u)) => {
+                    now += u;
+                    self.pc[t] += 1;
+                }
+                Some(Action::Alloc(b)) => {
+                    self.space += b;
+                    self.space_hwm = self.space_hwm.max(self.space);
+                    self.pc[t] += 1;
+                }
+                Some(Action::Free(b)) => {
+                    self.space -= b;
+                    self.pc[t] += 1;
+                }
+                Some(Action::Fork(c)) => {
+                    self.pc[t] += 1;
+                    self.birth(c);
+                    if self.child_first() {
+                        // Parent re-queued at its position; child handed off.
+                        self.place_df_placeholder(c, t);
+                        self.publish(t, now, q, None);
+                        // Re-mark placeholder consistency: publish() left the
+                        // parent where it already was in df_order.
+                        self.handoff[q] = Some(c);
+                        return now;
+                    } else {
+                        self.publish(c, now, q, Some(t));
+                        // Parent continues (Solaris semantics).
+                    }
+                }
+                Some(Action::Join(c)) => {
+                    if self.state[c] == TState::Exited {
+                        // Happens-before: join completes no earlier than the
+                        // child's (virtual) finish, even if the engine ran
+                        // the child's segments first in real order.
+                        now = now.max(self.finish[c]);
+                        self.pc[t] += 1;
+                        continue;
+                    }
+                    debug_assert!(self.joiner[c].is_none(), "double join");
+                    self.joiner[c] = Some(t);
+                    self.state[t] = TState::Blocked;
+                    self.blocked_at[t] = now;
+                    self.pc[t] += 1; // resume past the join when woken
+                    return now;
+                }
+            }
+        }
+    }
+}
+
+/// Simulates `program` on `procs` processors under `policy`.
+///
+/// # Panics
+/// Panics if the program deadlocks (cannot happen for validated programs).
+pub fn simulate(program: &Program, policy: PolicyKind, procs: usize) -> SimResult {
+    assert!(procs >= 1);
+    assert!(!program.is_empty());
+    let mut sim = Sim::new(program, policy, procs);
+    let mut clocks = vec![0u64; procs];
+    let mut parked = vec![false; procs];
+
+    sim.birth(0);
+    sim.publish(0, 0, 0, None);
+
+    loop {
+        if sim.live == 0 {
+            break;
+        }
+        // Min-clock unparked processor.
+        let q = match (0..procs)
+            .filter(|&q| !parked[q])
+            .min_by_key(|&q| clocks[q])
+        {
+            Some(q) => q,
+            None => panic!("abstract sim deadlock"),
+        };
+        let t = if let Some(c) = sim.handoff[q].take() {
+            c
+        } else {
+            match sim.pop(q, clocks[q]) {
+                Ok(t) => t,
+                Err(Some(at)) => {
+                    clocks[q] = clocks[q].max(at);
+                    continue;
+                }
+                Err(None) => {
+                    parked[q] = true;
+                    continue;
+                }
+            }
+        };
+        let end = sim.run_segment(t, q, clocks[q]);
+        clocks[q] = end;
+        // Unpark everyone on any publish (cheap at these scales).
+        for b in parked.iter_mut() {
+            *b = false;
+        }
+    }
+
+    SimResult {
+        makespan: clocks.into_iter().max().unwrap_or(0),
+        max_live_threads: sim.live_hwm,
+        space_hwm: sim.space_hwm,
+        total_threads: sim.total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{critical_path, serial_space, total_work, validate};
+    use crate::program::{Action, Program, ThreadSpec};
+
+    fn binary_tree(depth: u32, leaf_work: u64) -> Program {
+        // Builds a program where each interior thread forks two children and
+        // joins them.
+        fn build(threads: &mut Vec<ThreadSpec>, depth: u32, leaf_work: u64) -> usize {
+            let idx = threads.len();
+            threads.push(ThreadSpec::default());
+            if depth == 0 {
+                threads[idx].actions = vec![Action::Work(leaf_work)];
+            } else {
+                let l = build(threads, depth - 1, leaf_work);
+                let r = build(threads, depth - 1, leaf_work);
+                threads[idx].actions = vec![
+                    Action::Fork(l),
+                    Action::Fork(r),
+                    Action::Join(l),
+                    Action::Join(r),
+                ];
+            }
+            idx
+        }
+        let mut threads = Vec::new();
+        build(&mut threads, depth, leaf_work);
+        Program { threads }
+    }
+
+    #[test]
+    fn tree_work_conservation() {
+        let p = binary_tree(5, 3);
+        validate(&p).unwrap();
+        let w = total_work(&p);
+        assert_eq!(w, 32 * 3);
+        for policy in [
+            PolicyKind::FifoQueue,
+            PolicyKind::LifoQueue,
+            PolicyKind::ChildFirst,
+            PolicyKind::WorkStealing,
+        ] {
+            let r1 = simulate(&p, policy, 1);
+            assert_eq!(r1.makespan, w, "{policy:?} serial makespan == work");
+            assert_eq!(r1.total_threads, 63);
+        }
+    }
+
+    #[test]
+    fn parallel_speedup_bounded_by_brent() {
+        let p = binary_tree(6, 10);
+        let w = total_work(&p);
+        let d = critical_path(&p);
+        for policy in [
+            PolicyKind::FifoQueue,
+            PolicyKind::ChildFirst,
+            PolicyKind::WorkStealing,
+        ] {
+            for procs in [2, 4, 8] {
+                let r = simulate(&p, policy, procs);
+                assert!(r.makespan >= w / procs as u64, "{policy:?} too fast");
+                assert!(r.makespan >= d, "{policy:?} beats the critical path");
+                assert!(
+                    r.makespan <= w + d,
+                    "{policy:?} worse than W+D (non-greedy?)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn child_first_live_threads_equal_depth_serially() {
+        for depth in 1..8 {
+            let p = binary_tree(depth, 1);
+            let r = simulate(&p, PolicyKind::ChildFirst, 1);
+            assert_eq!(r.max_live_threads as u32, depth + 1);
+        }
+    }
+
+    #[test]
+    fn fifo_live_threads_explode() {
+        let p = binary_tree(8, 1); // 511 threads
+        let r = simulate(&p, PolicyKind::FifoQueue, 1);
+        assert!(r.max_live_threads > 400, "got {}", r.max_live_threads);
+    }
+
+    #[test]
+    fn space_under_child_first_is_serial_space_on_one_proc() {
+        // Each interior node allocates before forking and frees after joins.
+        fn build(threads: &mut Vec<ThreadSpec>, depth: u32) -> usize {
+            let idx = threads.len();
+            threads.push(ThreadSpec::default());
+            if depth == 0 {
+                threads[idx].actions = vec![Action::Work(1)];
+            } else {
+                let l = build(threads, depth - 1);
+                let r = build(threads, depth - 1);
+                threads[idx].actions = vec![
+                    Action::Alloc(100),
+                    Action::Fork(l),
+                    Action::Fork(r),
+                    Action::Join(l),
+                    Action::Join(r),
+                    Action::Free(100),
+                ];
+            }
+            idx
+        }
+        let mut threads = Vec::new();
+        build(&mut threads, 6);
+        let p = Program { threads };
+        validate(&p).unwrap();
+        let s1 = serial_space(&p);
+        assert_eq!(s1, 600);
+        let r = simulate(&p, PolicyKind::ChildFirst, 1);
+        assert_eq!(r.space_hwm, s1, "serial child-first execution == S1");
+        // FIFO allocates everything at once.
+        let rf = simulate(&p, PolicyKind::FifoQueue, 1);
+        assert_eq!(rf.space_hwm, 6300, "all 63 interior allocs live");
+    }
+}

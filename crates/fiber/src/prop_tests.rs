@@ -1,0 +1,71 @@
+//! Property tests: arbitrary resume/yield value sequences round-trip
+//! through a coroutine unchanged, for both backends.
+
+use crate::{Coroutine, Step};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The coroutine echoes every input with a marker; sequencing and
+    /// values survive arbitrarily many switches.
+    #[test]
+    fn echo_roundtrip(values in proptest::collection::vec(any::<u64>(), 1..50)) {
+        let n = values.len();
+        let mut co = Coroutine::<u64, u64, usize>::new(32 * 1024, move |y, first| {
+            let mut cur = first;
+            let mut count = 0usize;
+            loop {
+                count += 1;
+                if count == n {
+                    return count;
+                }
+                cur = y.suspend(cur.wrapping_mul(3).wrapping_add(1));
+                let _ = cur;
+            }
+        });
+        for (i, &v) in values.iter().enumerate() {
+            match co.resume(v) {
+                Step::Yield(echo) => {
+                    prop_assert_eq!(echo, v.wrapping_mul(3).wrapping_add(1));
+                    prop_assert!(i + 1 < n);
+                }
+                Step::Complete(count) => {
+                    prop_assert_eq!(count, n);
+                    prop_assert_eq!(i + 1, n);
+                }
+            }
+        }
+        prop_assert!(co.is_done());
+    }
+
+    /// Dropping after a random number of resumes always reclaims cleanly
+    /// (forced unwind runs the live destructors).
+    #[test]
+    fn drop_at_any_point_is_clean(stop_after in 0usize..20) {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let drops = Rc::new(Cell::new(0u32));
+        let d2 = drops.clone();
+        struct Bomb(Rc<Cell<u32>>);
+        impl Drop for Bomb {
+            fn drop(&mut self) {
+                self.0.set(self.0.get() + 1);
+            }
+        }
+        let mut co = Coroutine::<(), u32, ()>::new(32 * 1024, move |y, ()| {
+            let _bomb = Bomb(d2);
+            let mut i = 0;
+            loop {
+                y.suspend(i);
+                i += 1;
+            }
+        });
+        for _ in 0..stop_after {
+            co.resume(()).unwrap_yield();
+        }
+        drop(co);
+        let expected = u32::from(stop_after > 0); // bomb armed on first resume
+        prop_assert_eq!(drops.get(), expected);
+    }
+}

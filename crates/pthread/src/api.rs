@@ -1,0 +1,270 @@
+//! Application-facing API: spawning, joining, scoped forks, work/locality
+//! charging. These free functions dispatch on the active execution context:
+//!
+//! * inside [`crate::run`] — full runtime semantics (real threads on the
+//!   virtual SMP);
+//! * inside [`crate::run_serial`] — `spawn` runs its closure inline (a
+//!   function call, exactly the paper's serial version) and charges are
+//!   accounted on the single serial processor;
+//! * outside any run — everything is a plain call with no accounting, so
+//!   application code remains unit-testable in isolation.
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+use crate::config::Attr;
+use crate::runtime::{
+    make_fiber, make_fiber_erased, suspend_current, with_active, ActiveCtx, Inner,
+};
+use crate::thread::{JoinHandle, Kind, Slot, ThreadId, YieldReason};
+
+pub(crate) fn par_ctx() -> Option<Rc<RefCell<Inner>>> {
+    with_active(|ctx| match ctx {
+        Some(ActiveCtx::Par(rc)) => Some(rc.clone()),
+        _ => None,
+    })
+}
+
+/// Forks a new thread with default attributes (the Pthreads `fork` of the
+/// paper's programs). Under preempt-on-fork policies (DF, WS) the caller is
+/// preempted and the child starts immediately, per the space-efficient
+/// scheduling rule.
+pub fn spawn<T: 'static>(f: impl FnOnce() -> T + 'static) -> JoinHandle<T> {
+    spawn_attr(Attr::default(), f)
+}
+
+/// Forks a new thread with explicit attributes.
+pub fn spawn_attr<T: 'static>(attr: Attr, f: impl FnOnce() -> T + 'static) -> JoinHandle<T> {
+    let slot: Slot<T> = Rc::new(RefCell::new(None));
+    match par_ctx() {
+        Some(rc) => {
+            let (child, preempt) = {
+                let mut inner = rc.borrow_mut();
+                let (cur, p) = inner.cur.expect("spawn called outside a thread");
+                let fiber = make_fiber(inner.fiber_stack, slot.clone(), f);
+                inner.create_thread(Some(cur), p, attr, Some(fiber), Kind::User)
+            };
+            if preempt {
+                suspend_current(&rc, YieldReason::Forked { child });
+            }
+            JoinHandle { id: child, slot, inline: false }
+        }
+        None => {
+            // Serial or standalone: a fork is a function call.
+            *slot.borrow_mut() = Some(f());
+            JoinHandle {
+                id: ThreadId(u32::MAX),
+                slot,
+                inline: true,
+            }
+        }
+    }
+}
+
+/// Voluntarily yields the processor (re-queued as ready).
+pub fn yield_now() {
+    if let Some(rc) = par_ctx() {
+        suspend_current(&rc, YieldReason::Yielded);
+    }
+}
+
+/// Charges `cycles` cycles of application compute to the current virtual
+/// processor. This is how benchmark kernels report their work to the
+/// virtual-time model (see DESIGN.md: the code *also* really executes; the
+/// charge is the modelled duration on the 167 MHz reference machine).
+pub fn work(cycles: u64) {
+    let rc = with_active(|ctx| match ctx {
+        Some(ActiveCtx::Par(rc)) => {
+            let mut inner = rc.borrow_mut();
+            let (_, p) = inner.cur.expect("work outside a thread");
+            inner.machine.compute(p, cycles);
+            Some(rc.clone())
+        }
+        Some(ActiveCtx::Serial(rc)) => {
+            rc.borrow_mut().machine.compute(0, cycles);
+            None
+        }
+        None => None,
+    });
+    if let Some(rc) = rc {
+        crate::runtime::maybe_timeslice(&rc);
+    }
+}
+
+/// Declares that the current thread is about to work on `bytes` of data
+/// region `region` (locality model; see [`ptdf_smp::CacheModel`]).
+pub fn touch(region: u64, bytes: u64) {
+    let rc = with_active(|ctx| match ctx {
+        Some(ActiveCtx::Par(rc)) => {
+            let mut inner = rc.borrow_mut();
+            let (_, p) = inner.cur.expect("touch outside a thread");
+            inner.machine.touch(p, region, bytes);
+            Some(rc.clone())
+        }
+        Some(ActiveCtx::Serial(rc)) => {
+            rc.borrow_mut().machine.touch(0, region, bytes);
+            None
+        }
+        None => None,
+    });
+    if let Some(rc) = rc {
+        crate::runtime::maybe_timeslice(&rc);
+    }
+}
+
+/// Id of the current runtime thread, if inside one.
+pub fn current_thread() -> Option<ThreadId> {
+    with_active(|ctx| match ctx {
+        Some(ActiveCtx::Par(rc)) => rc.borrow().cur.map(|(t, _)| t),
+        _ => None,
+    })
+}
+
+/// Number of virtual processors of the active run (1 in serial mode; `None`
+/// outside any run).
+pub fn processors() -> Option<usize> {
+    with_active(|ctx| match ctx {
+        Some(ActiveCtx::Par(rc)) => Some(rc.borrow().machine.processors()),
+        Some(ActiveCtx::Serial(_)) => Some(1),
+        None => None,
+    })
+}
+
+/// A fork scope that permits borrowing from the enclosing stack frame, like
+/// `std::thread::scope`. All threads spawned through the scope are joined
+/// before [`scope`] returns (also on panic), which is what makes the
+/// lifetime erasure sound.
+pub struct Scope<'env> {
+    pending: Rc<RefCell<Vec<ThreadId>>>,
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+/// Handle to a scope-spawned thread.
+pub struct ScopedHandle<'scope, T> {
+    id: ThreadId,
+    slot: Slot<T>,
+    inline: bool,
+    pending: Rc<RefCell<Vec<ThreadId>>>,
+    _scope: PhantomData<&'scope ()>,
+}
+
+impl<'env> Scope<'env> {
+    /// Forks a thread that may borrow from the environment.
+    pub fn spawn<T, F>(&self, f: F) -> ScopedHandle<'_, T>
+    where
+        F: FnOnce() -> T + 'env,
+        T: 'env,
+    {
+        self.spawn_attr(Attr::default(), f)
+    }
+
+    /// Forks with explicit attributes.
+    pub fn spawn_attr<T, F>(&self, attr: Attr, f: F) -> ScopedHandle<'_, T>
+    where
+        F: FnOnce() -> T + 'env,
+        T: 'env,
+    {
+        let slot: Slot<T> = Rc::new(RefCell::new(None));
+        match par_ctx() {
+            Some(rc) => {
+                let slot2 = slot.clone();
+                let body: Box<dyn FnOnce() + 'env> = Box::new(move || {
+                    *slot2.borrow_mut() = Some(f());
+                });
+                // SAFETY (lifetime erasure): every thread spawned through
+                // this scope is joined before `scope` returns — by handle
+                // join or by the scope's drop guard, which also runs during
+                // unwinding — so all borrows captured by `body` (and the
+                // slot) outlive the thread's execution.
+                let body: Box<dyn FnOnce() + 'static> = unsafe { std::mem::transmute(body) };
+                let (child, preempt) = {
+                    let mut inner = rc.borrow_mut();
+                    let (cur, p) = inner.cur.expect("scope spawn outside a thread");
+                    let fiber = make_fiber_erased(inner.fiber_stack, body);
+                    inner.create_thread(Some(cur), p, attr, Some(fiber), Kind::User)
+                };
+                self.pending.borrow_mut().push(child);
+                if preempt {
+                    suspend_current(&rc, YieldReason::Forked { child });
+                }
+                ScopedHandle {
+                    id: child,
+                    slot,
+                    inline: false,
+                    pending: self.pending.clone(),
+                    _scope: PhantomData,
+                }
+            }
+            None => {
+                *slot.borrow_mut() = Some(f());
+                ScopedHandle {
+                    id: ThreadId(u32::MAX),
+                    slot,
+                    inline: true,
+                    pending: self.pending.clone(),
+                    _scope: PhantomData,
+                }
+            }
+        }
+    }
+}
+
+impl<T> ScopedHandle<'_, T> {
+    /// The thread id.
+    pub fn id(&self) -> ThreadId {
+        self.id
+    }
+
+    /// Waits for the thread and returns its value (re-raising its panic).
+    pub fn join(self) -> T {
+        if !self.inline {
+            self.pending.borrow_mut().retain(|&t| t != self.id);
+            crate::runtime::join_wait(self.id);
+        }
+        self.slot
+            .borrow_mut()
+            .take()
+            .expect("scoped thread produced no value")
+    }
+}
+
+struct ScopeGuard {
+    pending: Rc<RefCell<Vec<ThreadId>>>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        // Join every thread not explicitly joined. During a panic unwind we
+        // still join (soundness!), but swallow child panics to avoid a
+        // double panic.
+        let pending = std::mem::take(&mut *self.pending.borrow_mut());
+        for id in pending {
+            if std::thread::panicking() {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    crate::runtime::join_wait(id)
+                }));
+            } else {
+                crate::runtime::join_wait(id);
+            }
+        }
+    }
+}
+
+/// Runs `f` with a fork [`Scope`]; joins all unjoined scope threads before
+/// returning (or before propagating a panic).
+pub fn scope<'env, T>(f: impl FnOnce(&Scope<'env>) -> T) -> T {
+    let pending = Rc::new(RefCell::new(Vec::new()));
+    let guard = ScopeGuard {
+        pending: pending.clone(),
+    };
+    let s = Scope {
+        pending,
+        _env: PhantomData,
+    };
+    let out = f(&s);
+    drop(guard);
+    out
+}
+
+pub(crate) use crate::runtime::join_impl;

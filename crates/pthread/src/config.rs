@@ -1,0 +1,212 @@
+//! Run configuration: scheduler choice, processor count, thread attributes.
+
+use ptdf_smp::CostModel;
+
+/// Scheduling policy for unbound threads at a given priority level.
+///
+/// The paper's §2.1/§4 policies:
+/// * [`SchedKind::Fifo`] — the original Solaris `SCHED_OTHER`: a FIFO ready
+///   queue; forked children are enqueued and the parent keeps running. This
+///   executes the computation graph breadth-first and is the policy whose
+///   space/time blow-up the paper documents (Figures 5–6).
+/// * [`SchedKind::Lifo`] — the paper's first fix (§4 item 1): a LIFO ready
+///   queue, approximating depth-first order.
+/// * [`SchedKind::Df`] — the paper's space-efficient scheduler (§4 item 2),
+///   a variant of Narlikar & Blelloch's `S1 + O(p·D)` algorithm: a global
+///   list of all live threads in serial (depth-first) execution order;
+///   fork preempts the parent and runs the child; each scheduling quantum
+///   carries a memory quota, with no-op "dummy" threads inserted before
+///   allocations larger than the quota.
+/// * [`SchedKind::Ws`] — Cilk-style per-processor work stealing (child
+///   first, steal from the top), the main comparator in the space-efficiency
+///   literature (space bound `p · S1`); included as an ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum SchedKind {
+    /// Original Solaris FIFO queue.
+    Fifo,
+    /// LIFO stack of ready threads.
+    Lifo,
+    /// Space-efficient depth-first scheduler (the paper's contribution).
+    Df,
+    /// The paper's §5.3 future-work variant: depth-first order with a
+    /// bounded locality window — a dispatching processor may take, from
+    /// among the leftmost [`Config::locality_window`] ready threads, one
+    /// that last ran on it. Weakens the space bound by at most the window
+    /// size while restoring cache affinity at fine thread granularity.
+    DfLocal,
+    /// Parallelized depth-first scheduler after Narlikar's `DFDeques` (the
+    /// paper's §6 scalability future work, reference \[34\]): per-processor
+    /// deques kept in a global depth-first order; thieves steal the top of
+    /// the leftmost deque. Same quota machinery as [`SchedKind::Df`], no
+    /// global scheduler lock.
+    DfDeques,
+    /// Cilk-style work stealing (comparator).
+    Ws,
+}
+
+impl SchedKind {
+    /// Human-readable name used in reports and experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedKind::Fifo => "fifo",
+            SchedKind::Lifo => "lifo",
+            SchedKind::Df => "df",
+            SchedKind::DfLocal => "df-local",
+            SchedKind::DfDeques => "df-deques",
+            SchedKind::Ws => "ws",
+        }
+    }
+}
+
+/// Default per-quantum memory quota `K` for the depth-first scheduler, in
+/// bytes. The paper leaves `K` as the space/time knob (§4 item 2); the
+/// `ablate_quota` bench sweeps it.
+pub const DEFAULT_QUOTA: u64 = 64 * 1024;
+
+/// The Solaris default thread stack size (1 MB), which §4 item 3 identifies
+/// as wasteful for thread-churning programs.
+pub const STACK_1MB: u64 = 1024 * 1024;
+
+/// The reduced default stack size (one 8 KB page) of §4 item 3.
+pub const STACK_8KB: u64 = 8 * 1024;
+
+/// Configuration for a virtual-SMP run.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of virtual processors (the paper uses 1–8, §5.2 up to 16).
+    pub processors: usize,
+    /// Scheduling policy.
+    pub scheduler: SchedKind,
+    /// Memory quota `K` for [`SchedKind::Df`]; ignored by other policies.
+    pub quota: u64,
+    /// Machine cost model.
+    pub cost: CostModel,
+    /// Default *accounted* stack size for threads created with default
+    /// attributes (1 MB in stock Solaris; 8 KB in the paper's modified
+    /// library). This drives the lazy-commit stack memory model.
+    pub default_stack: u64,
+    /// Real host stack size for each fiber, in bytes. Purely an
+    /// implementation detail of the reproduction; not accounted.
+    pub fiber_stack: usize,
+    /// Seed for the work-stealing victim sequence (determinism).
+    pub seed: u64,
+    /// Locality window for [`SchedKind::DfLocal`]: how many of the leftmost
+    /// ready threads a processor may inspect for an affinity match.
+    pub locality_window: usize,
+    /// Record an execution trace (see [`crate::Trace`]).
+    pub trace: bool,
+}
+
+impl Config {
+    /// A config reproducing the paper's modified library: space-efficient
+    /// scheduler with small default stacks.
+    pub fn new(processors: usize, scheduler: SchedKind) -> Self {
+        Config {
+            processors,
+            scheduler,
+            quota: DEFAULT_QUOTA,
+            cost: CostModel::ultrasparc_167(),
+            default_stack: STACK_8KB,
+            fiber_stack: 64 * 1024,
+            seed: 0x5EED,
+            locality_window: 16,
+            trace: false,
+        }
+    }
+
+    /// The stock Solaris 2.5 library: FIFO queue, 1 MB default stacks.
+    pub fn solaris_native(processors: usize) -> Self {
+        Config {
+            default_stack: STACK_1MB,
+            ..Config::new(processors, SchedKind::Fifo)
+        }
+    }
+
+    /// Sets the default stack size (builder style).
+    pub fn with_stack(mut self, bytes: u64) -> Self {
+        self.default_stack = bytes;
+        self
+    }
+
+    /// Sets the DF memory quota (builder style).
+    pub fn with_quota(mut self, bytes: u64) -> Self {
+        self.quota = bytes;
+        self
+    }
+
+    /// Sets the cost model (builder style).
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Sets the DfLocal locality window (builder style).
+    pub fn with_locality_window(mut self, window: usize) -> Self {
+        self.locality_window = window;
+        self
+    }
+
+    /// Enables execution tracing (builder style).
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+}
+
+/// Per-thread creation attributes (the subset of `pthread_attr_t` the paper
+/// exercises).
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct Attr {
+    /// Accounted (reserved) stack size; `None` → the run's default.
+    pub stack_size: Option<u64>,
+    /// Priority level; higher runs first. All policies schedule strictly by
+    /// priority, space-efficiently (or FIFO/LIFO) *within* a level, matching
+    /// the paper's prioritized formulation (§2.1 end).
+    pub priority: i32,
+    /// Detached threads are reclaimed on exit without a join.
+    pub detached: bool,
+}
+
+
+impl Attr {
+    /// Attribute set with an explicit stack size.
+    pub fn with_stack(bytes: u64) -> Self {
+        Attr {
+            stack_size: Some(bytes),
+            ..Attr::default()
+        }
+    }
+
+    /// Sets the priority (builder style).
+    pub fn priority(mut self, prio: i32) -> Self {
+        self.priority = prio;
+        self
+    }
+
+    /// Marks the thread detached (builder style).
+    pub fn detached(mut self) -> Self {
+        self.detached = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders() {
+        let c = Config::new(8, SchedKind::Df).with_stack(STACK_1MB).with_quota(1024);
+        assert_eq!(c.default_stack, STACK_1MB);
+        assert_eq!(c.quota, 1024);
+        assert_eq!(c.scheduler.name(), "df");
+        let n = Config::solaris_native(4);
+        assert_eq!(n.scheduler, SchedKind::Fifo);
+        assert_eq!(n.default_stack, STACK_1MB);
+        let a = Attr::with_stack(4096).priority(2).detached();
+        assert_eq!(a.stack_size, Some(4096));
+        assert_eq!(a.priority, 2);
+        assert!(a.detached);
+    }
+}

@@ -1,0 +1,164 @@
+//! Tracked memory allocation: the reproduction of the paper's instrumented
+//! `malloc`/`free` (§4 item 2).
+//!
+//! Applications route their significant allocations through [`rt_alloc`] /
+//! [`rt_free`] (or the RAII [`TrackedBuf`]). In a runtime with the DF
+//! policy, allocations are charged against the current thread's per-quantum
+//! memory quota `K`:
+//!
+//! * an allocation that drives the quota to (or below) zero **preempts** the
+//!   thread — it re-enters the ready queue at its depth-first position and
+//!   receives a fresh quota on its next dispatch;
+//! * an allocation of `m > K` bytes first inserts `δ = ⌈m/K⌉` no-op *dummy
+//!   threads* to the left of the allocating thread, so that the processors
+//!   must burn `δ` scheduling quanta (giving leftward, serially-earlier
+//!   threads a chance to run) before the large allocation proceeds.
+//!
+//! The paper forks the dummies as a binary tree (the Pthreads interface only
+//! has binary fork); this reproduction inserts them directly as `δ` sibling
+//! entries, which preserves the throttle (δ quanta of scheduler work) while
+//! charging all creation costs to the allocating thread. See DESIGN.md.
+
+use crate::runtime::{suspend_current, with_active, ActiveCtx};
+use crate::thread::YieldReason;
+
+/// Registers an allocation of `bytes` with the active context, charging
+/// allocation costs and enforcing the DF memory quota. Returns after the
+/// (possibly delayed) allocation is accounted.
+pub fn rt_alloc(bytes: u64) {
+    let rc = match with_active(|ctx| match ctx {
+        Some(ActiveCtx::Par(rc)) => Some(rc.clone()),
+        Some(ActiveCtx::Serial(rc)) => {
+            rc.borrow_mut().machine.alloc(0, bytes);
+            None
+        }
+        None => None,
+    }) {
+        Some(rc) => rc,
+        None => return,
+    };
+
+    // Quota enforcement (DF policy only).
+    let quota = rc.borrow().policy.quota();
+    if let Some(k) = quota {
+        if bytes > k {
+            // Large allocation: insert δ = ⌈bytes/K⌉ dummy threads at our
+            // depth-first position and preempt; the allocation proceeds on
+            // redispatch. The dummies are forked lazily as a binary tree
+            // (the Pthreads interface only has binary fork, §4 item 2), so
+            // only O(log δ) of them are live at once per processor.
+            let delta = bytes.div_ceil(k.max(1));
+            {
+                let mut inner = rc.borrow_mut();
+                let (cur, p) = inner.cur.expect("rt_alloc outside a thread");
+                inner.create_dummy_tree(cur, p, delta);
+            }
+            suspend_current(&rc, YieldReason::Preempted);
+        }
+    }
+
+    let over_quota = {
+        let mut inner = rc.borrow_mut();
+        let (cur, p) = inner.cur.expect("rt_alloc outside a thread");
+        inner.machine.alloc(p, bytes);
+        if quota.is_some() {
+            let t = &mut inner.threads[cur.index()];
+            t.quota -= bytes as i64;
+            t.quota <= 0
+        } else {
+            false
+        }
+    };
+    if over_quota {
+        // "When the counter reaches zero, the thread is preempted."
+        suspend_current(&rc, YieldReason::Preempted);
+    } else {
+        crate::runtime::maybe_timeslice(&rc);
+    }
+}
+
+/// Registers a free of `bytes` with the active context.
+pub fn rt_free(bytes: u64) {
+    with_active(|ctx| match ctx {
+        Some(ActiveCtx::Par(rc)) => {
+            // During engine teardown (forced unwind) the context may be
+            // mid-borrow; skip accounting rather than double-panic.
+            if let Ok(mut inner) = rc.try_borrow_mut() {
+                if let Some((_, p)) = inner.cur {
+                    inner.machine.free(p, bytes);
+                }
+            }
+        }
+        Some(ActiveCtx::Serial(rc)) => rc.borrow_mut().machine.free(0, bytes),
+        None => {}
+    });
+}
+
+/// A heap buffer whose size is tracked by the active run's memory model.
+///
+/// The buffer is a real `Vec<T>` (the benchmarks compute real results in
+/// it); construction charges `rt_alloc(len * size_of::<T>())` and drop
+/// charges the matching `rt_free`.
+#[derive(Debug)]
+pub struct TrackedBuf<T> {
+    data: Vec<T>,
+    bytes: u64,
+}
+
+impl<T> TrackedBuf<T> {
+    /// Tracks an existing vector.
+    pub fn from_vec(data: Vec<T>) -> Self {
+        let bytes = (data.capacity() * std::mem::size_of::<T>()) as u64;
+        rt_alloc(bytes);
+        TrackedBuf { data, bytes }
+    }
+
+    /// Allocates `n` copies of `value`.
+    pub fn filled(value: T, n: usize) -> Self
+    where
+        T: Clone,
+    {
+        Self::from_vec(vec![value; n])
+    }
+
+    /// Allocates `n` default-valued elements.
+    pub fn zeroed(n: usize) -> Self
+    where
+        T: Default + Clone,
+    {
+        Self::filled(T::default(), n)
+    }
+
+    /// Tracked size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Consumes the buffer, releasing the tracking, and returns the vector.
+    pub fn into_vec(mut self) -> Vec<T> {
+        rt_free(self.bytes);
+        self.bytes = 0;
+        std::mem::take(&mut self.data)
+    }
+}
+
+impl<T> std::ops::Deref for TrackedBuf<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        &self.data
+    }
+}
+
+impl<T> std::ops::DerefMut for TrackedBuf<T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+}
+
+impl<T> Drop for TrackedBuf<T> {
+    fn drop(&mut self) {
+        if self.bytes > 0 {
+            rt_free(self.bytes);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Run reports.
+
+use ptdf_smp::{RunStats, VirtTime};
+
+use crate::config::{Config, SchedKind};
+
+/// Summary of one virtual-SMP run: configuration echo plus the machine's
+/// collected statistics. Everything the paper's figures plot is here.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Report {
+    /// Scheduler name ("fifo", "lifo", "df", "ws").
+    pub scheduler: String,
+    /// Virtual processor count.
+    pub processors: usize,
+    /// Default accounted stack size in bytes.
+    pub default_stack: u64,
+    /// DF memory quota, if the DF policy ran.
+    pub quota: Option<u64>,
+    /// Total threads created over the run.
+    pub total_threads: usize,
+    /// Machine statistics (makespan, breakdowns, memory).
+    pub stats: RunStats,
+    /// Execution trace, when enabled via [`Config::with_trace`].
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub trace: Option<crate::trace::Trace>,
+}
+
+impl Report {
+    pub(crate) fn new(
+        config: &Config,
+        stats: RunStats,
+        total_threads: usize,
+        trace: Option<crate::trace::Trace>,
+    ) -> Self {
+        Report {
+            scheduler: config.scheduler.name().to_string(),
+            processors: config.processors,
+            default_stack: config.default_stack,
+            quota: (config.scheduler == SchedKind::Df).then_some(config.quota),
+            total_threads,
+            stats,
+            trace,
+        }
+    }
+
+    /// Virtual wall-clock of the run.
+    pub fn makespan(&self) -> VirtTime {
+        self.stats.makespan
+    }
+
+    /// High-water committed memory footprint in bytes (the paper's space
+    /// metric).
+    pub fn footprint(&self) -> u64 {
+        self.stats.mem.footprint_hwm
+    }
+
+    /// Same, in megabytes.
+    pub fn footprint_mb(&self) -> f64 {
+        self.footprint() as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Peak simultaneously-live threads (the "Threads" column of Figure 8).
+    pub fn max_live_threads(&self) -> u64 {
+        self.stats.mem.live_threads_hwm
+    }
+
+    /// Speedup of this run against a serial makespan.
+    pub fn speedup_vs(&self, serial: VirtTime) -> f64 {
+        self.stats.speedup_vs(serial)
+    }
+}

@@ -1,0 +1,635 @@
+//! The execution engine: drives fibers over the virtual SMP under the
+//! selected scheduling policy.
+//!
+//! The engine is a conservative discrete-event simulation. All fibers run on
+//! the single host thread, but each is dispatched on behalf of a *virtual
+//! processor* whose clock advances by modelled costs. The engine always
+//! dispatches on the processor with the smallest clock, and every scheduler
+//! entry carries the virtual time at which it was published, so causality
+//! holds: a processor never consumes an event from its own future.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+
+use ptdf_fiber::{Coroutine, ForcedUnwind, Step};
+use ptdf_smp::{Machine, ProcId, VirtTime};
+
+use crate::config::{Attr, Config};
+use crate::report::Report;
+use crate::sched::{make_policy, Policy, Pop};
+use crate::thread::{Fiber, JoinHandle, Kind, Slot, TState, Tcb, ThreadId, YieldReason};
+
+/// Runtime internals; shared between the engine loop and the API functions
+/// (via the thread-local [`ActiveCtx`]).
+pub(crate) struct Inner {
+    pub machine: Machine,
+    pub policy: Box<dyn Policy>,
+    pub threads: Vec<Tcb>,
+    /// Direct-handoff slot per processor: a preempt-on-fork child
+    /// (`resume = false`, full dispatch) or a time-sliced fiber
+    /// (`resume = true`, cost-free continuation).
+    pub handoff: Vec<Option<(ThreadId, bool)>>,
+    /// Processors that found the scheduler empty; woken on publish.
+    pub parked: Vec<bool>,
+    /// Live (non-exited) threads of any kind.
+    pub live: usize,
+    /// Currently executing (thread, processor); set before each resume.
+    pub cur: Option<(ThreadId, ProcId)>,
+    pub default_stack: u64,
+    pub fiber_stack: usize,
+    /// Execution trace, when enabled.
+    pub trace: Option<crate::trace::Trace>,
+}
+
+/// What kind of execution context the calling code is inside.
+pub(crate) enum ActiveCtx {
+    /// Inside `Runtime`-driven parallel execution.
+    Par(Rc<RefCell<Inner>>),
+    /// Inside a `run_serial` baseline execution.
+    Serial(Rc<RefCell<crate::serial::SerialCtx>>),
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<ActiveCtx>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with the active context (if any).
+pub(crate) fn with_active<R>(f: impl FnOnce(Option<&ActiveCtx>) -> R) -> R {
+    ACTIVE.with(|a| f(a.borrow().as_ref()))
+}
+
+struct TlsGuard;
+
+impl Drop for TlsGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|a| *a.borrow_mut() = None);
+    }
+}
+
+fn install(ctx: ActiveCtx) -> TlsGuard {
+    ACTIVE.with(|a| {
+        let mut slot = a.borrow_mut();
+        assert!(
+            slot.is_none(),
+            "ptdf runtime is not reentrant: run()/run_serial() called from \
+             inside an active run"
+        );
+        *slot = Some(ctx);
+    });
+    TlsGuard
+}
+
+pub(crate) fn install_serial(ctx: Rc<RefCell<crate::serial::SerialCtx>>) -> impl Drop {
+    install(ActiveCtx::Serial(ctx))
+}
+
+impl Inner {
+    fn new(config: &Config) -> Self {
+        Inner {
+            machine: Machine::new(config.processors, config.cost.clone(), config.default_stack),
+            policy: make_policy(config),
+            threads: Vec::new(),
+            handoff: vec![None; config.processors],
+            parked: vec![false; config.processors],
+            live: 0,
+            cur: None,
+            default_stack: config.default_stack,
+            fiber_stack: config.fiber_stack,
+            trace: config.trace.then(crate::trace::Trace::default),
+        }
+    }
+
+    fn tcb(&mut self, t: ThreadId) -> &mut Tcb {
+        &mut self.threads[t.index()]
+    }
+
+    /// Charges one scheduler-queue operation on `p` (global lock for
+    /// serialized policies, local cost otherwise).
+    pub fn sched_op(&mut self, p: ProcId) {
+        if self.policy.global_lock() {
+            self.machine.sched_lock(p);
+        } else {
+            let cs = self.machine.cost().sched_cs;
+            self.machine
+                .charge(p, ptdf_smp::Bucket::SchedCs, cs);
+        }
+    }
+
+    /// Wakes one parked processor for an event published at time `at`
+    /// (wake-one semantics, like an OS run queue: each published entry wakes
+    /// one waiter; waking everyone would model a thundering herd on the
+    /// scheduler lock that real schedulers avoid).
+    fn unpark(&mut self, at: VirtTime) {
+        let victim = (0..self.parked.len())
+            .filter(|&q| self.parked[q])
+            .min_by_key(|&q| self.machine.clock(q));
+        if let Some(q) = victim {
+            self.parked[q] = false;
+            self.machine.idle_until(q, at);
+        }
+    }
+
+    /// Creates a thread record. `enqueue_override` forces queue insertion
+    /// (used for the root and for dummies) even under preempt-on-fork.
+    /// Returns the new thread id and whether the caller (the forking
+    /// parent) must yield so the child is direct-handed to its processor.
+    pub fn create_thread(
+        &mut self,
+        parent: Option<ThreadId>,
+        on_proc: ProcId,
+        attr: Attr,
+        fiber: Option<Fiber>,
+        kind: Kind,
+    ) -> (ThreadId, bool) {
+        let reserved = attr.stack_size.unwrap_or(self.default_stack);
+        let committed = self.machine.thread_create(on_proc, reserved);
+        let id = ThreadId(self.threads.len() as u32);
+        let prio = attr.priority;
+        let mut tcb = Tcb::new(kind, attr, reserved);
+        tcb.stack_committed = committed;
+        tcb.fiber = fiber;
+        self.threads.push(tcb);
+        self.live += 1;
+        // Preempt-on-fork hands the child straight to the parent's
+        // processor — but only within the parent's priority level; a child
+        // at a different level goes through the queue so that priority
+        // semantics hold (paper §2.1: the space-efficient policy operates
+        // *within* a priority level).
+        let handoff_child = kind == Kind::User
+            && self.policy.preempt_on_fork()
+            && parent
+                .map(|par| self.threads[par.index()].attr.priority == prio)
+                .unwrap_or(false);
+        let now = self.machine.clock(on_proc);
+        self.sched_op(on_proc);
+        self.policy
+            .on_create(id, parent, prio, !handoff_child, now, on_proc);
+        if !handoff_child {
+            self.threads[id.index()].state = TState::Ready;
+            self.unpark(now);
+        }
+        if kind == Kind::Dummy {
+            self.machine.count_dummy();
+        }
+        (id, handoff_child)
+    }
+
+    /// Creates the root(s) of a lazy binary tree of `count` dummy threads
+    /// at `parent`'s depth-first position: up to two roots are created now,
+    /// each expanding (when dispatched) into two more, and so on.
+    pub fn create_dummy_tree(&mut self, parent: ThreadId, p: ProcId, count: u64) {
+        let left = count / 2;
+        let right = count - left;
+        for part in [left, right] {
+            if part > 0 {
+                let (id, _) =
+                    self.create_thread(Some(parent), p, Attr::default(), None, Kind::Dummy);
+                self.threads[id.index()].dummy_remaining = part;
+            }
+        }
+    }
+
+    /// Marks `t` ready. The publish time is the waking processor's clock or
+    /// the thread's own suspension time, whichever is later — a wake must
+    /// not resume a thread earlier (in virtual time) than it blocked.
+    pub fn make_ready(&mut self, t: ThreadId, p: ProcId) {
+        debug_assert!(matches!(
+            self.threads[t.index()].state,
+            TState::Blocked | TState::Created
+        ));
+        let now = self
+            .machine
+            .clock(p)
+            .max(self.threads[t.index()].blocked_at);
+        let (prio, affinity) = {
+            let tcb = &self.threads[t.index()];
+            (tcb.attr.priority, tcb.last_proc)
+        };
+        self.threads[t.index()].state = TState::Ready;
+        self.sched_op(p);
+        self.policy.on_ready(t, prio, now, p, affinity);
+        self.unpark(now);
+    }
+
+    /// Registers the current thread as blocked (caller must already have
+    /// put it on some wait queue) — to be followed by a `Blocked` suspend.
+    pub fn block_current(&mut self) -> (ThreadId, ProcId) {
+        let (tid, p) = self.cur.expect("block outside a thread");
+        let now = self.machine.clock(p);
+        let t = &mut self.threads[tid.index()];
+        t.state = TState::Blocked;
+        t.blocked_at = now;
+        self.policy.on_block(tid);
+        self.sched_op(p);
+        (tid, p)
+    }
+
+    fn dispatch_prologue(&mut self, tid: ThreadId, p: ProcId) {
+        self.machine.count_dispatch(p);
+        let switch = self.machine.cost().ctx_switch;
+        self.machine.thread_op(p, switch);
+        let (reserved, committed, has_run) = {
+            let t = self.tcb(tid);
+            (t.stack_reserved, t.stack_committed, t.has_run)
+        };
+        if !has_run {
+            let committed = self.machine.thread_first_run(p, reserved, committed);
+            let t = self.tcb(tid);
+            t.stack_committed = committed;
+            t.has_run = true;
+        }
+        if let Some(k) = self.policy.quota() {
+            self.tcb(tid).quota = k as i64;
+        }
+        let t = self.tcb(tid);
+        t.state = TState::Running(p);
+        t.last_proc = Some(p);
+        self.cur = Some((tid, p));
+    }
+
+    fn handle_yield(&mut self, tid: ThreadId, p: ProcId, reason: YieldReason) {
+        match reason {
+            YieldReason::Forked { child } => {
+                let now = self.machine.clock(p);
+                let prio = self.threads[tid.index()].attr.priority;
+                self.threads[tid.index()].state = TState::Ready;
+                self.sched_op(p);
+                self.policy.on_ready(tid, prio, now, p, Some(p));
+                self.unpark(now);
+                debug_assert!(self.handoff[p].is_none());
+                self.handoff[p] = Some((child, false));
+            }
+            YieldReason::Blocked => {
+                debug_assert_eq!(self.threads[tid.index()].state, TState::Blocked);
+            }
+            YieldReason::Timeslice => {
+                // Keep the fiber on this processor; no queue interaction and
+                // no cost — the pause exists only to interleave virtually
+                // concurrent execution segments.
+                debug_assert!(self.handoff[p].is_none());
+                self.handoff[p] = Some((tid, true));
+            }
+            YieldReason::Preempted | YieldReason::Yielded => {
+                let now = self.machine.clock(p);
+                let prio = self.threads[tid.index()].attr.priority;
+                self.threads[tid.index()].state = TState::Ready;
+                self.sched_op(p);
+                self.policy.on_ready(tid, prio, now, p, Some(p));
+                self.unpark(now);
+            }
+        }
+    }
+
+    fn finish_thread(&mut self, tid: ThreadId, p: ProcId) {
+        let (reserved, committed) = {
+            let t = self.tcb(tid);
+            (t.stack_reserved, t.stack_committed)
+        };
+        self.machine.thread_exit(p, reserved, committed);
+        self.policy.on_exit(tid);
+        let exit_time = self.machine.clock(p);
+        let joiner = {
+            let t = self.tcb(tid);
+            t.state = TState::Exited;
+            t.exit_time = exit_time;
+            t.fiber = None;
+            t.yielder = std::ptr::null();
+            t.joiner.take()
+        };
+        self.live -= 1;
+        if let Some(j) = joiner {
+            self.make_ready(j, p);
+        }
+    }
+
+    /// Minimum-clock runnable processor, or `None` when all are parked.
+    fn pick_proc(&self) -> Option<ProcId> {
+        (0..self.parked.len())
+            .filter(|&q| !self.parked[q])
+            .min_by_key(|&q| self.machine.clock(q))
+    }
+
+    fn deadlock_dump(&self) -> String {
+        let mut s = format!(
+            "deadlock: all processors idle with {} live threads \
+             (policy {:?}, {} ready entries):\n",
+            self.live,
+            self.policy.kind(),
+            self.policy.ready_len()
+        );
+        for (i, t) in self.threads.iter().enumerate() {
+            if t.state != TState::Exited {
+                s.push_str(&format!(
+                    "  t{i}: {:?} kind={:?} joiner={:?}\n",
+                    t.state, t.kind, t.joiner
+                ));
+            }
+        }
+        s
+    }
+}
+
+/// Runs `f` as the root thread of a fresh virtual-SMP runtime and returns
+/// its result together with the run's [`Report`].
+///
+/// This is the reproduction's equivalent of launching a multithreaded
+/// Solaris process on the Enterprise 5000: `config` selects the processor
+/// count, scheduler, default stack size and cost model.
+///
+/// # Panics
+/// Propagates a panic of the root thread. Panics in spawned threads are
+/// delivered at their `join`.
+pub fn run<T: 'static>(config: Config, f: impl FnOnce() -> T + 'static) -> (T, Report) {
+    let inner_rc = Rc::new(RefCell::new(Inner::new(&config)));
+    let slot: Slot<T> = Rc::new(RefCell::new(None));
+    let guard = install(ActiveCtx::Par(inner_rc.clone()));
+
+    {
+        let mut inner = inner_rc.borrow_mut();
+        let fiber = make_fiber(config.fiber_stack, slot.clone(), f);
+        let _ = inner.create_thread(None, 0, Attr::default(), Some(fiber), Kind::Root);
+    }
+
+    engine_loop(&inner_rc);
+    drop(guard);
+
+    let mut inner = inner_rc.borrow_mut();
+    if let Some(payload) = inner.threads[0].panic.take() {
+        drop(inner);
+        drop(inner_rc);
+        resume_unwind(payload);
+    }
+    let peak = inner.threads.len();
+    let trace = inner.trace.take();
+    let stats = {
+        let machine = std::mem::replace(
+            &mut inner.machine,
+            Machine::new(1, config.cost.clone(), config.default_stack),
+        );
+        machine.finish()
+    };
+    drop(inner);
+    let value = slot
+        .borrow_mut()
+        .take()
+        .expect("root thread completed without a value");
+    let report = Report::new(&config, stats, peak, trace);
+    (value, report)
+}
+
+/// Builds the fiber for a thread body: registers its yielder, runs the body,
+/// stores the result, and records panics for delivery at join.
+pub(crate) fn make_fiber<T: 'static>(
+    stack: usize,
+    slot: Slot<T>,
+    f: impl FnOnce() -> T + 'static,
+) -> Fiber {
+    make_fiber_erased(
+        stack,
+        Box::new(move || {
+            *slot.borrow_mut() = Some(f());
+        }),
+    )
+}
+
+/// Type-erased fiber constructor (used by the lifetime-erasing scope API).
+pub(crate) fn make_fiber_erased(stack: usize, body: Box<dyn FnOnce()>) -> Fiber {
+    // With the portable thread backend, each fiber runs on its own OS
+    // thread, which starts with an empty thread-local context; capture the
+    // engine's context now (on the engine thread) and install it when the
+    // fiber first runs. A no-op under the single-thread assembly backend.
+    let ctx = with_active(|c| match c {
+        Some(ActiveCtx::Par(rc)) => Some(rc.clone()),
+        _ => None,
+    });
+    Coroutine::new(stack, move |yielder, ()| {
+        if let Some(rc) = ctx {
+            adopt_context(rc);
+        }
+        register_yielder(yielder);
+        let result = catch_unwind(AssertUnwindSafe(body));
+        if let Err(payload) = result {
+            if payload.is::<ForcedUnwind>() {
+                resume_unwind(payload);
+            }
+            store_panic(payload);
+        }
+    })
+}
+
+/// Installs the runtime context into the calling OS thread's slot if it has
+/// none (fiber threads under the portable backend). Serialized by the
+/// backend's rendezvous discipline.
+fn adopt_context(rc: Rc<RefCell<Inner>>) {
+    ACTIVE.with(|a| {
+        let mut slot = a.borrow_mut();
+        if slot.is_none() {
+            *slot = Some(ActiveCtx::Par(rc));
+        }
+    });
+}
+
+fn register_yielder(y: &crate::thread::FiberYielder) {
+    with_active(|ctx| {
+        let Some(ActiveCtx::Par(rc)) = ctx else {
+            panic!("fiber running without an active runtime")
+        };
+        let mut inner = rc.borrow_mut();
+        let (tid, _) = inner.cur.expect("fiber running without cur");
+        inner.threads[tid.index()].yielder = y as *const _;
+    });
+}
+
+fn store_panic(payload: Box<dyn std::any::Any + Send>) {
+    with_active(|ctx| {
+        if let Some(ActiveCtx::Par(rc)) = ctx {
+            let mut inner = rc.borrow_mut();
+            let (tid, _) = inner.cur.expect("panic outside a thread");
+            inner.threads[tid.index()].panic = Some(payload);
+        }
+    });
+}
+
+/// Suspends the current fiber with `reason`; returns when redispatched.
+pub(crate) fn suspend_current(rc: &Rc<RefCell<Inner>>, reason: YieldReason) {
+    let yielder = {
+        let inner = rc.borrow();
+        let (tid, _) = inner.cur.expect("suspend outside a thread");
+        inner.threads[tid.index()].yielder
+    };
+    assert!(!yielder.is_null(), "suspend before yielder registration");
+    // SAFETY: the yielder lives on the current fiber's stack for the whole
+    // fiber lifetime; we are that fiber.
+    let yielder = unsafe { &*yielder };
+    yielder.suspend(reason);
+}
+
+/// Virtual-time quantum after which a fiber that has run ahead of every
+/// other active processor pauses so virtually-concurrent segments
+/// interleave (see [`YieldReason::Timeslice`]).
+const TIMESLICE: VirtTime = VirtTime::from_us(200);
+
+/// Suspends the current fiber (cost-free) if its processor's clock is more
+/// than one [`TIMESLICE`] ahead of every other non-parked processor.
+pub(crate) fn maybe_timeslice(rc: &Rc<RefCell<Inner>>) {
+    let should = {
+        let inner = rc.borrow();
+        let Some((tid, p)) = inner.cur else {
+            return;
+        };
+        // Never timeslice a thread that has already registered itself on a
+        // wait queue (state Blocked, between `block_current` and its
+        // `Blocked` suspend — e.g. the unlock inside `Condvar::wait`): a
+        // concurrent wake would queue it while it also sits in the handoff
+        // slot, double-dispatching it.
+        if inner.threads[tid.index()].state != TState::Running(p) {
+            return;
+        }
+        let my = inner.machine.clock(p);
+        (0..inner.parked.len())
+            .filter(|&q| q != p && !inner.parked[q])
+            .map(|q| inner.machine.clock(q))
+            .min()
+            .is_some_and(|min| my.since(min) > TIMESLICE)
+    };
+    if should {
+        suspend_current(rc, YieldReason::Timeslice);
+    }
+}
+
+fn engine_loop(inner_rc: &Rc<RefCell<Inner>>) {
+    loop {
+        let mut inner = inner_rc.borrow_mut();
+        if inner.live == 0 {
+            return;
+        }
+        let Some(p) = inner.pick_proc() else {
+            let dump = inner.deadlock_dump();
+            drop(inner);
+            panic!("{dump}");
+        };
+        let (tid, ts_resume) = if let Some((child, resume)) = inner.handoff[p].take() {
+            (child, resume)
+        } else {
+            inner.sched_op(p);
+            let now = inner.machine.clock(p);
+            match inner.policy.pop(p, now) {
+                Pop::Got { tid, stolen } => {
+                    if stolen {
+                        // Migration: pay an extra switch for the cold start.
+                        let c = inner.machine.cost().ctx_switch;
+                        inner.machine.thread_op(p, c);
+                    }
+                    (tid, false)
+                }
+                Pop::NotYet(t) => {
+                    inner.machine.idle_until(p, t);
+                    continue;
+                }
+                Pop::Empty => {
+                    inner.parked[p] = true;
+                    continue;
+                }
+            }
+        };
+        if ts_resume {
+            // Cost-free continuation of a time-sliced fiber.
+            inner.cur = Some((tid, p));
+        } else {
+            inner.dispatch_prologue(tid, p);
+        }
+        let span_start = inner.machine.clock(p);
+        let span_kind = if ts_resume {
+            crate::trace::SpanKind::Resume
+        } else if inner.threads[tid.index()].kind == Kind::Dummy {
+            crate::trace::SpanKind::Dummy
+        } else {
+            crate::trace::SpanKind::Run
+        };
+        if inner.threads[tid.index()].kind == Kind::Dummy {
+            // Dummies perform a no-op and exit (paper §4 item 2); their cost
+            // is creation + dispatch + exit bookkeeping. A dummy standing
+            // for a subtree of the lazy binary tree forks its two children
+            // before exiting.
+            let remaining = inner.threads[tid.index()].dummy_remaining;
+            if remaining > 1 {
+                inner.create_dummy_tree(tid, p, remaining - 1);
+            }
+            inner.machine.compute(p, 100);
+            inner.finish_thread(tid, p);
+            let end = inner.machine.clock(p);
+            if let Some(tr) = inner.trace.as_mut() {
+                tr.record(p, tid, span_start, end, span_kind);
+            }
+            continue;
+        }
+        let mut fiber = inner.threads[tid.index()]
+            .fiber
+            .take()
+            .expect("dispatched thread has no fiber");
+        drop(inner);
+        let step = fiber.resume(());
+        let mut inner = inner_rc.borrow_mut();
+        match step {
+            Step::Yield(reason) => {
+                inner.threads[tid.index()].fiber = Some(fiber);
+                inner.handle_yield(tid, p, reason);
+            }
+            Step::Complete(()) => {
+                drop(fiber);
+                inner.finish_thread(tid, p);
+            }
+        }
+        let end = inner.machine.clock(p);
+        if let Some(tr) = inner.trace.as_mut() {
+            tr.record(p, tid, span_start, end, span_kind);
+        }
+    }
+}
+
+/// Implementation of [`JoinHandle::join`].
+pub(crate) fn join_impl<T>(h: &JoinHandle<T>) -> T {
+    if !h.inline {
+        join_wait(h.id);
+    }
+    h.slot
+        .borrow_mut()
+        .take()
+        .expect("joined thread produced no value (did it panic while detached?)")
+}
+
+/// Blocks the current thread until `target` exits; re-raises its panic.
+pub(crate) fn join_wait(target: ThreadId) {
+    let rc = with_active(|ctx| match ctx {
+        Some(ActiveCtx::Par(rc)) => rc.clone(),
+        _ => panic!("join on a runtime thread outside the runtime"),
+    });
+    loop {
+        let mut inner = rc.borrow_mut();
+        let (cur, p) = inner.cur.expect("join outside a thread");
+        let t = target.index();
+        if inner.threads[t].state == TState::Exited {
+            // Happens-before: join cannot return before the child's virtual
+            // exit, even when the engine (real-time) ran the child first.
+            let exit_time = inner.threads[t].exit_time;
+            inner.machine.idle_until(p, exit_time);
+            let c = inner.machine.cost().join_exited;
+            inner.machine.thread_op(p, c);
+            let payload = inner.threads[t].panic.take();
+            drop(inner);
+            if let Some(payload) = payload {
+                resume_unwind(payload);
+            }
+            return;
+        }
+        assert!(
+            inner.threads[t].joiner.is_none(),
+            "two threads joining {target}"
+        );
+        inner.threads[t].joiner = Some(cur);
+        inner.block_current();
+        drop(inner);
+        suspend_current(&rc, YieldReason::Blocked);
+    }
+}

@@ -1,0 +1,502 @@
+//! The paper's space-efficient depth-first scheduler (§4 item 2).
+//!
+//! A variation of the `S1 + O(p·D)` algorithm of Narlikar & Blelloch [35],
+//! as retrofitted into the Solaris Pthreads library:
+//!
+//! * The scheduling queue holds an entry for **every live thread** — ready,
+//!   blocked, or executing — kept in the *serial depth-first execution
+//!   order*. Blocked/executing entries act as position placeholders.
+//! * A newly forked child is inserted immediately to the **left** of its
+//!   parent, and the parent is preempted so the processor runs the child
+//!   (the engine direct-hands the child; the parent re-enters as ready at
+//!   its placeholder).
+//! * Dispatch takes the **leftmost ready** thread (highest priority level
+//!   first; depth-first order within a level).
+//! * Every dispatch grants a memory quota of `K` bytes; the allocation hook
+//!   (in `mem.rs`) preempts a thread that exhausts it and inserts no-op
+//!   dummy threads before allocations larger than `K`.
+//!
+//! The queue is a doubly-linked list over a slab, one list per priority
+//! level. All operations are O(1) except `pop`, which scans from the left
+//! for the first ready entry — cheap in practice precisely because this
+//! scheduler keeps the live-thread count small.
+
+use std::collections::{BTreeMap, HashMap};
+
+use ptdf_smp::{ProcId, VirtTime};
+
+use crate::config::SchedKind;
+use crate::sched::{Policy, Pop};
+use crate::thread::ThreadId;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Node {
+    prev: usize,
+    next: usize,
+    tid: ThreadId,
+    ready: bool,
+    ready_at: VirtTime,
+    /// Processor the thread last ran on (used only with a locality window).
+    affinity: Option<ProcId>,
+}
+
+#[derive(Debug)]
+pub(crate) struct DfSched {
+    quota: u64,
+    /// §5.3 locality window: 0 = strict depth-first order.
+    window: usize,
+    /// Per-processor hint: the thread that was serially adjacent (to the
+    /// right) of the last thread this processor dispatched — "schedule
+    /// threads that are close in the computation graph on the same
+    /// processor" (paper §5.3).
+    hint: Vec<Option<ThreadId>>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    /// priority → (head sentinel, tail sentinel).
+    lists: BTreeMap<i32, (usize, usize)>,
+    pos: HashMap<ThreadId, usize>,
+    prio_of: HashMap<ThreadId, i32>,
+    ready: usize,
+    /// Peak number of live entries (ready + placeholders), for diagnostics.
+    peak_entries: usize,
+    entries: usize,
+}
+
+impl DfSched {
+    pub fn new(quota: u64) -> Self {
+        Self::with_window(quota, 0, 0)
+    }
+
+    /// DF with the §5.3 locality window (0 = strict order).
+    pub fn with_window(quota: u64, window: usize, procs: usize) -> Self {
+        DfSched {
+            quota,
+            window,
+            hint: vec![None; procs],
+            nodes: Vec::new(),
+            free: Vec::new(),
+            lists: BTreeMap::new(),
+            pos: HashMap::new(),
+            prio_of: HashMap::new(),
+            ready: 0,
+            peak_entries: 0,
+            entries: 0,
+        }
+    }
+
+    fn alloc_node(&mut self, tid: ThreadId) -> usize {
+        let node = Node {
+            prev: NIL,
+            next: NIL,
+            tid,
+            ready: false,
+            ready_at: VirtTime::ZERO,
+            affinity: None,
+        };
+        if let Some(i) = self.free.pop() {
+            self.nodes[i] = node;
+            i
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    fn level(&mut self, prio: i32) -> (usize, usize) {
+        if let Some(&hs) = self.lists.get(&prio) {
+            return hs;
+        }
+        let head = self.alloc_node(ThreadId(u32::MAX));
+        let tail = self.alloc_node(ThreadId(u32::MAX));
+        self.nodes[head].next = tail;
+        self.nodes[tail].prev = head;
+        self.lists.insert(prio, (head, tail));
+        (head, tail)
+    }
+
+    /// Links node `n` immediately before node `before`.
+    fn link_before(&mut self, n: usize, before: usize) {
+        let prev = self.nodes[before].prev;
+        self.nodes[n].prev = prev;
+        self.nodes[n].next = before;
+        self.nodes[prev].next = n;
+        self.nodes[before].prev = n;
+    }
+
+    fn unlink(&mut self, n: usize) {
+        let (prev, next) = (self.nodes[n].prev, self.nodes[n].next);
+        self.nodes[prev].next = next;
+        self.nodes[next].prev = prev;
+    }
+
+    /// Peak live-entry count over the run (diagnostics).
+    #[allow(dead_code)]
+    pub fn peak_entries(&self) -> usize {
+        self.peak_entries
+    }
+
+    /// Marks node `cur` dispatched on processor `p` and records its right
+    /// neighbour as the processor's graph-adjacency hint.
+    fn take(&mut self, cur: usize, p: ProcId) {
+        self.nodes[cur].ready = false;
+        self.ready -= 1;
+        if let Some(slot) = self.hint.get_mut(p) {
+            let next = self.nodes[cur].next;
+            *slot = (self.nodes[next].tid != ThreadId(u32::MAX)).then(|| self.nodes[next].tid);
+        }
+    }
+}
+
+impl Policy for DfSched {
+    fn kind(&self) -> SchedKind {
+        if self.window == 0 {
+            SchedKind::Df
+        } else {
+            SchedKind::DfLocal
+        }
+    }
+
+    fn preempt_on_fork(&self) -> bool {
+        true
+    }
+
+    fn quota(&self) -> Option<u64> {
+        Some(self.quota)
+    }
+
+    fn on_create(
+        &mut self,
+        t: ThreadId,
+        parent: Option<ThreadId>,
+        prio: i32,
+        enqueue: bool,
+        at: VirtTime,
+        _on_proc: ProcId,
+    ) {
+        let n = self.alloc_node(t);
+        self.nodes[n].ready = enqueue;
+        self.nodes[n].ready_at = at;
+        // Placement: immediately left of the parent's placeholder when the
+        // parent lives at the same priority level (the serial depth-first
+        // position); otherwise at the tail of the child's level (a fresh
+        // serial order for that level).
+        let anchor = parent
+            .and_then(|p| {
+                if self.prio_of.get(&p) == Some(&prio) {
+                    self.pos.get(&p).copied()
+                } else {
+                    None
+                }
+            })
+            .unwrap_or_else(|| self.level(prio).1);
+        self.link_before(n, anchor);
+        self.pos.insert(t, n);
+        self.prio_of.insert(t, prio);
+        if enqueue {
+            self.ready += 1;
+        }
+        self.entries += 1;
+        self.peak_entries = self.peak_entries.max(self.entries);
+    }
+
+    fn on_ready(
+        &mut self,
+        t: ThreadId,
+        _prio: i32,
+        at: VirtTime,
+        _waker: ProcId,
+        _affinity: Option<ProcId>,
+    ) {
+        let n = self.pos[&t];
+        debug_assert!(!self.nodes[n].ready, "double ready for {t}");
+        self.nodes[n].ready = true;
+        self.nodes[n].ready_at = at;
+        self.nodes[n].affinity = _affinity;
+        self.ready += 1;
+    }
+
+    fn on_block(&mut self, t: ThreadId) {
+        // Blocked threads keep their placeholder; they are simply not ready.
+        let n = self.pos[&t];
+        debug_assert!(!self.nodes[n].ready, "blocking a queued thread {t}");
+    }
+
+    fn on_exit(&mut self, t: ThreadId) {
+        let n = self.pos.remove(&t).expect("exiting thread has a placeholder");
+        self.prio_of.remove(&t);
+        debug_assert!(!self.nodes[n].ready, "exiting thread still queued");
+        self.unlink(n);
+        self.free.push(n);
+        self.entries -= 1;
+    }
+
+    fn pop(&mut self, p: ProcId, now: VirtTime) -> Pop {
+        if self.ready == 0 {
+            return Pop::Empty;
+        }
+        let mut earliest: Option<VirtTime> = None;
+        // Almost every program runs at a single priority level; avoid a
+        // per-dispatch allocation for that case.
+        let mut single: [(usize, usize); 1] = [(NIL, NIL)];
+        let levels: &[(usize, usize)] = if self.lists.len() == 1 {
+            single[0] = *self.lists.values().next().expect("one level");
+            &single
+        } else {
+            return self.pop_multi_level(p, now);
+        };
+        for &(head, tail) in levels {
+            // Leftmost eligible wins; with a locality window, a match for
+            // this processor within the first `window` eligible entries
+            // wins instead.
+            let hint = self.hint.get(p).copied().flatten();
+            let mut first: Option<usize> = None;
+            let mut affine: Option<usize> = None;
+            let mut hinted: Option<usize> = None;
+            let mut inspected = 0usize;
+            let mut cur = self.nodes[head].next;
+            while cur != tail {
+                let node = &self.nodes[cur];
+                if node.ready {
+                    if node.ready_at <= now {
+                        if self.window == 0 {
+                            let tid = node.tid;
+                            self.take(cur, p);
+                            return Pop::Got { tid, stolen: false };
+                        }
+                        if hint == Some(node.tid) {
+                            hinted = Some(cur);
+                        }
+                        if affine.is_none() && node.affinity == Some(p) {
+                            affine = Some(cur);
+                        }
+                        if first.is_none() {
+                            first = Some(cur);
+                        }
+                        inspected += 1;
+                        if inspected >= self.window {
+                            break;
+                        }
+                    } else {
+                        let at = node.ready_at;
+                        earliest =
+                            Some(earliest.map_or(at, |e: VirtTime| if at < e { at } else { e }));
+                    }
+                }
+                cur = self.nodes[cur].next;
+            }
+            // Graph-adjacency hint beats thread affinity beats leftmost.
+            if let Some(cur) = hinted.or(affine) {
+                let tid = self.nodes[cur].tid;
+                self.take(cur, p);
+                return Pop::Got { tid, stolen: false };
+            }
+            if let Some(cur) = first {
+                let tid = self.nodes[cur].tid;
+                self.take(cur, p);
+                return Pop::Got { tid, stolen: false };
+            }
+        }
+        match earliest {
+            Some(t) => Pop::NotYet(t),
+            None => Pop::Empty,
+        }
+    }
+
+    fn ready_len(&self) -> usize {
+        self.ready
+    }
+}
+
+impl DfSched {
+    /// General multi-priority dispatch path (allocates a level snapshot).
+    fn pop_multi_level(&mut self, p: ProcId, now: VirtTime) -> Pop {
+        let mut earliest: Option<VirtTime> = None;
+        let levels: Vec<(usize, usize)> = self.lists.values().rev().copied().collect();
+        for (head, tail) in levels {
+            let hint = self.hint.get(p).copied().flatten();
+            let mut first: Option<usize> = None;
+            let mut affine: Option<usize> = None;
+            let mut hinted: Option<usize> = None;
+            let mut inspected = 0usize;
+            let mut cur = self.nodes[head].next;
+            while cur != tail {
+                let node = &self.nodes[cur];
+                if node.ready {
+                    if node.ready_at <= now {
+                        if self.window == 0 {
+                            let tid = node.tid;
+                            self.take(cur, p);
+                            return Pop::Got { tid, stolen: false };
+                        }
+                        if hint == Some(node.tid) {
+                            hinted = Some(cur);
+                        }
+                        if affine.is_none() && node.affinity == Some(p) {
+                            affine = Some(cur);
+                        }
+                        if first.is_none() {
+                            first = Some(cur);
+                        }
+                        inspected += 1;
+                        if inspected >= self.window {
+                            break;
+                        }
+                    } else {
+                        let at = node.ready_at;
+                        earliest =
+                            Some(earliest.map_or(at, |e: VirtTime| if at < e { at } else { e }));
+                    }
+                }
+                cur = self.nodes[cur].next;
+            }
+            if let Some(cur) = hinted.or(affine).or(first) {
+                let tid = self.nodes[cur].tid;
+                self.take(cur, p);
+                return Pop::Got { tid, stolen: false };
+            }
+        }
+        match earliest {
+            Some(t) => Pop::NotYet(t),
+            None => Pop::Empty,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u32) -> ThreadId {
+        ThreadId(n)
+    }
+
+    fn got(tid: ThreadId) -> Pop {
+        Pop::Got { tid, stolen: false }
+    }
+
+    #[test]
+    fn child_left_of_parent_runs_first() {
+        let mut s = DfSched::new(1024);
+        s.on_create(t(0), None, 0, true, VirtTime::ZERO, 0);
+        assert_eq!(s.pop(0, VirtTime::ZERO), got(t(0))); // root dispatched
+        // Root forks two children (preempt-on-fork: placeholders, not ready).
+        s.on_create(t(1), Some(t(0)), 0, false, VirtTime::ZERO, 0);
+        // Parent re-queued at its placeholder; child 1 is direct-handed.
+        s.on_ready(t(0), 0, VirtTime::ZERO, 0, None);
+        // Child 1 later yields: becomes ready at its (leftmost) position.
+        s.on_ready(t(1), 0, VirtTime::ZERO, 0, None);
+        // Leftmost ready is the child, not the parent.
+        assert_eq!(s.pop(0, VirtTime::ZERO), got(t(1)));
+        assert_eq!(s.pop(0, VirtTime::ZERO), got(t(0)));
+    }
+
+    #[test]
+    fn serial_order_maintained_across_generations() {
+        let mut s = DfSched::new(1024);
+        s.on_create(t(0), None, 0, true, VirtTime::ZERO, 0);
+        assert_eq!(s.pop(0, VirtTime::ZERO), got(t(0)));
+        // Root forks c1 then c2: each inserted immediately left of root, so
+        // the order is [c1, c2, root] (c1 forked first = leftmost = first in
+        // serial depth-first order).
+        s.on_create(t(1), Some(t(0)), 0, false, VirtTime::ZERO, 0);
+        s.on_ready(t(0), 0, VirtTime::ZERO, 0, None);
+        assert_eq!(s.pop(0, VirtTime::ZERO), got(t(0))); // engine re-runs root (handoff skipped in this unit test)
+        s.on_create(t(2), Some(t(0)), 0, false, VirtTime::ZERO, 0);
+        s.on_ready(t(0), 0, VirtTime::ZERO, 0, None);
+        s.on_ready(t(1), 0, VirtTime::ZERO, 0, None);
+        s.on_ready(t(2), 0, VirtTime::ZERO, 0, None);
+        assert_eq!(s.pop(0, VirtTime::ZERO), got(t(1)));
+        assert_eq!(s.pop(0, VirtTime::ZERO), got(t(2)));
+        assert_eq!(s.pop(0, VirtTime::ZERO), got(t(0)));
+    }
+
+    #[test]
+    fn blocked_placeholder_preserves_position() {
+        let mut s = DfSched::new(1024);
+        s.on_create(t(0), None, 0, true, VirtTime::ZERO, 0);
+        assert_eq!(s.pop(0, VirtTime::ZERO), got(t(0)));
+        s.on_create(t(1), Some(t(0)), 0, false, VirtTime::ZERO, 0);
+        s.on_ready(t(0), 0, VirtTime::ZERO, 0, None);
+        // Child 1 runs (handoff), then blocks: placeholder stays left of root.
+        s.on_block(t(1));
+        assert_eq!(s.pop(0, VirtTime::ZERO), got(t(0)));
+        // Child wakes: it is again leftmost.
+        s.on_ready(t(1), 0, VirtTime::ZERO, 0, None);
+        s.on_ready(t(0), 0, VirtTime::ZERO, 0, None);
+        assert_eq!(s.pop(0, VirtTime::ZERO), got(t(1)));
+    }
+
+    #[test]
+    fn exit_unlinks_and_slab_reuses() {
+        let mut s = DfSched::new(1024);
+        s.on_create(t(0), None, 0, true, VirtTime::ZERO, 0);
+        assert_eq!(s.pop(0, VirtTime::ZERO), got(t(0)));
+        s.on_create(t(1), Some(t(0)), 0, false, VirtTime::ZERO, 0);
+        s.on_exit(t(1));
+        s.on_create(t(2), Some(t(0)), 0, false, VirtTime::ZERO, 0);
+        s.on_ready(t(2), 0, VirtTime::ZERO, 0, None);
+        s.on_ready(t(0), 0, VirtTime::ZERO, 0, None);
+        assert_eq!(s.pop(0, VirtTime::ZERO), got(t(2)));
+        assert_eq!(s.pop(0, VirtTime::ZERO), got(t(0)));
+        assert_eq!(s.pop(0, VirtTime::ZERO), Pop::Empty);
+    }
+
+    #[test]
+    fn higher_priority_level_wins_regardless_of_order() {
+        let mut s = DfSched::new(1024);
+        s.on_create(t(0), None, 0, true, VirtTime::ZERO, 0);
+        s.on_create(t(1), None, 3, true, VirtTime::ZERO, 0);
+        assert_eq!(s.pop(0, VirtTime::ZERO), got(t(1)));
+        assert_eq!(s.pop(0, VirtTime::ZERO), got(t(0)));
+    }
+
+    #[test]
+    fn locality_window_prefers_affine_within_window() {
+        let mut s = DfSched::with_window(1024, 4, 16);
+        s.on_create(t(0), None, 0, true, VirtTime::ZERO, 0);
+        assert_eq!(s.pop(0, VirtTime::ZERO), got(t(0)));
+        // Three children, placeholders left of root; mark ready with
+        // affinities for different processors.
+        for i in 1..=3 {
+            s.on_create(t(i), Some(t(0)), 0, false, VirtTime::ZERO, 0);
+        }
+        s.on_ready(t(1), 0, VirtTime::ZERO, 0, Some(5));
+        s.on_ready(t(2), 0, VirtTime::ZERO, 0, Some(7));
+        s.on_ready(t(3), 0, VirtTime::ZERO, 0, Some(5));
+        // Processor 7 takes its own t2 even though t1 is leftmost.
+        assert_eq!(s.pop(7, VirtTime::ZERO), got(t(2)));
+        // Processor 9 has no match: leftmost eligible.
+        assert_eq!(s.pop(9, VirtTime::ZERO), got(t(1)));
+    }
+
+    #[test]
+    fn locality_window_bounds_the_search() {
+        let mut s = DfSched::with_window(1024, 2, 16);
+        s.on_create(t(0), None, 0, true, VirtTime::ZERO, 0);
+        assert_eq!(s.pop(0, VirtTime::ZERO), got(t(0)));
+        for i in 1..=4 {
+            s.on_create(t(i), Some(t(0)), 0, false, VirtTime::ZERO, 0);
+        }
+        // Ready order (left to right): t1, t2, t3, t4 — t4's affinity
+        // matches processor 3 but lies beyond the window of 2.
+        for i in 1..=4 {
+            let aff = if i == 4 { Some(3) } else { Some(8) };
+            s.on_ready(t(i), 0, VirtTime::ZERO, 0, aff);
+        }
+        assert_eq!(
+            s.pop(3, VirtTime::ZERO),
+            got(t(1)),
+            "match outside the window must not override depth-first order"
+        );
+    }
+
+    #[test]
+    fn future_ready_at_respected() {
+        let mut s = DfSched::new(1024);
+        s.on_create(t(0), None, 0, true, VirtTime::from_ns(100), 0);
+        assert_eq!(s.pop(0, VirtTime::from_ns(10)), Pop::NotYet(VirtTime::from_ns(100)));
+        assert_eq!(s.pop(0, VirtTime::from_ns(100)), got(t(0)));
+    }
+}

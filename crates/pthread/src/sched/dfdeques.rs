@@ -1,0 +1,322 @@
+//! Parallelized depth-first scheduler in the style of `DFDeques` — the
+//! paper's §6 scalability future work ("our space-efficient scheduler
+//! maintains a globally ordered list of threads; accesses are serialized by
+//! a lock… a parallelized implementation of the scheduler, such as the one
+//! described elsewhere [34], would be required to ensure further
+//! scalability").
+//!
+//! Design (after Narlikar's DFDeques):
+//!
+//! * Each processor owns a **deque** of ready threads and works on its own
+//!   deque child-first (LIFO), exactly like work stealing — no global lock
+//!   on the fast path.
+//! * The deques themselves are kept in a **global depth-first order**: the
+//!   threads of a left deque precede those of a right deque in the serial
+//!   execution order.
+//! * An idle processor steals the **top (serially earliest) thread of the
+//!   leftmost stealable deque** and starts a fresh deque of its own placed
+//!   immediately to the *left* of the victim — preserving the global order
+//!   invariant.
+//! * The per-dispatch memory quota applies as in the serial DF scheduler.
+//!
+//! This trades a slightly looser space bound (`S1 + O(K · p · D)` still
+//! holds; constants grow) for scalability: dispatches touch only one deque,
+//! and only steals touch the shared order list. The engine charges steals
+//! an extra context-switch cost and skips the global scheduler lock.
+
+use std::collections::VecDeque;
+
+use ptdf_smp::{ProcId, VirtTime};
+
+use crate::config::SchedKind;
+use crate::sched::{Policy, Pop};
+use crate::thread::ThreadId;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Deque {
+    prev: usize,
+    next: usize,
+    /// Front = serially earliest (steal end); back = newest (owner end).
+    items: VecDeque<(ThreadId, VirtTime)>,
+    owner: Option<ProcId>,
+    live: bool,
+}
+
+#[derive(Debug)]
+pub(crate) struct DfDequesSched {
+    quota: u64,
+    deques: Vec<Deque>,
+    free: Vec<usize>,
+    /// Sentinels of the global deque order.
+    head: usize,
+    tail: usize,
+    /// Each processor's current deque (if any).
+    own: Vec<Option<usize>>,
+    ready: usize,
+    steals: u64,
+}
+
+impl DfDequesSched {
+    pub fn new(quota: u64, procs: usize) -> Self {
+        let mut s = DfDequesSched {
+            quota,
+            deques: Vec::new(),
+            free: Vec::new(),
+            head: 0,
+            tail: 0,
+            own: vec![None; procs],
+            ready: 0,
+            steals: 0,
+        };
+        s.head = s.alloc();
+        s.tail = s.alloc();
+        s.deques[s.head].next = s.tail;
+        s.deques[s.tail].prev = s.head;
+        s
+    }
+
+    fn alloc(&mut self) -> usize {
+        let d = Deque {
+            prev: NIL,
+            next: NIL,
+            items: VecDeque::new(),
+            owner: None,
+            live: true,
+        };
+        if let Some(i) = self.free.pop() {
+            self.deques[i] = d;
+            i
+        } else {
+            self.deques.push(d);
+            self.deques.len() - 1
+        }
+    }
+
+    fn link_before(&mut self, d: usize, before: usize) {
+        let prev = self.deques[before].prev;
+        self.deques[d].prev = prev;
+        self.deques[d].next = before;
+        self.deques[prev].next = d;
+        self.deques[before].prev = d;
+    }
+
+    fn unlink(&mut self, d: usize) {
+        let (prev, next) = (self.deques[d].prev, self.deques[d].next);
+        self.deques[prev].next = next;
+        self.deques[next].prev = prev;
+        self.deques[d].live = false;
+        self.free.push(d);
+    }
+
+    /// The deque processor `p` currently owns, creating one at the far
+    /// right (fresh serial order) if needed.
+    fn own_or_new(&mut self, p: ProcId) -> usize {
+        if let Some(d) = self.own[p] {
+            if self.deques[d].live {
+                return d;
+            }
+        }
+        let d = self.alloc();
+        let tail = self.tail;
+        self.link_before(d, tail);
+        self.deques[d].owner = Some(p);
+        self.own[p] = Some(d);
+        d
+    }
+
+    /// Drops `p`'s deque if it is empty (keeping empty deques in the order
+    /// would let them pile up).
+    fn gc_own(&mut self, p: ProcId) {
+        if let Some(d) = self.own[p] {
+            if self.deques[d].live && self.deques[d].items.is_empty() {
+                self.unlink(d);
+                self.own[p] = None;
+            }
+        }
+    }
+
+    /// Number of steals over the run (diagnostics).
+    #[allow(dead_code)]
+    pub fn steals(&self) -> u64 {
+        self.steals
+    }
+}
+
+impl Policy for DfDequesSched {
+    fn kind(&self) -> SchedKind {
+        SchedKind::DfDeques
+    }
+
+    fn global_lock(&self) -> bool {
+        false // the whole point: per-deque operations
+    }
+
+    fn preempt_on_fork(&self) -> bool {
+        true
+    }
+
+    fn quota(&self) -> Option<u64> {
+        Some(self.quota)
+    }
+
+    fn on_create(
+        &mut self,
+        t: ThreadId,
+        _parent: Option<ThreadId>,
+        _prio: i32,
+        enqueue: bool,
+        at: VirtTime,
+        on_proc: ProcId,
+    ) {
+        if enqueue {
+            // Root and dummy threads go on the creating processor's deque
+            // (dummies thereby throttle the allocating processor's own
+            // serial position, as in the serial DF scheduler).
+            let d = self.own_or_new(on_proc);
+            self.deques[d].items.push_back((t, at));
+            self.ready += 1;
+        }
+    }
+
+    fn on_ready(
+        &mut self,
+        t: ThreadId,
+        _prio: i32,
+        at: VirtTime,
+        waker: ProcId,
+        _affinity: Option<ProcId>,
+    ) {
+        let d = self.own_or_new(waker);
+        self.deques[d].items.push_back((t, at));
+        self.ready += 1;
+    }
+
+    fn pop(&mut self, p: ProcId, now: VirtTime) -> Pop {
+        if self.ready == 0 {
+            return Pop::Empty;
+        }
+        let mut earliest: Option<VirtTime> = None;
+        // Own deque, newest first.
+        if let Some(d) = self.own[p].filter(|&d| self.deques[d].live) {
+            if let Some(pos) = self.deques[d].items.iter().rposition(|&(_, at)| at <= now) {
+                let (tid, _) = self.deques[d].items.remove(pos).expect("pos valid");
+                self.ready -= 1;
+                self.gc_own(p);
+                return Pop::Got { tid, stolen: false };
+            }
+            for &(_, at) in &self.deques[d].items {
+                earliest = Some(earliest.map_or(at, |e| if at < e { at } else { e }));
+            }
+        }
+        // Steal: leftmost deque with an eligible top thread.
+        let mut cur = self.deques[self.head].next;
+        while cur != self.tail {
+            if Some(cur) != self.own[p] {
+                if let Some(pos) = self.deques[cur].items.iter().position(|&(_, at)| at <= now)
+                {
+                    let (tid, _) = self.deques[cur].items.remove(pos).expect("pos valid");
+                    self.ready -= 1;
+                    self.steals += 1;
+                    // Abandon our empty deque and start a new one at the
+                    // victim's left: the stolen thread is serially earliest
+                    // there, so our future children belong left of the
+                    // victim's remaining threads.
+                    if let Some(old) = self.own[p].take() {
+                        if self.deques[old].live && self.deques[old].items.is_empty() {
+                            self.unlink(old);
+                        } else if self.deques[old].live {
+                            self.deques[old].owner = None; // orphaned, stealable
+                        }
+                    }
+                    let mine = self.alloc();
+                    self.link_before(mine, cur);
+                    self.deques[mine].owner = Some(p);
+                    self.own[p] = Some(mine);
+                    // Clean the victim if we drained it.
+                    if self.deques[cur].items.is_empty() && self.deques[cur].owner.is_none() {
+                        self.unlink(cur);
+                    }
+                    return Pop::Got { tid, stolen: true };
+                }
+                for &(_, at) in &self.deques[cur].items {
+                    earliest = Some(earliest.map_or(at, |e| if at < e { at } else { e }));
+                }
+            }
+            cur = self.deques[cur].next;
+        }
+        match earliest {
+            Some(t) => Pop::NotYet(t),
+            None => Pop::Empty,
+        }
+    }
+
+    fn ready_len(&self) -> usize {
+        self.ready
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u32) -> ThreadId {
+        ThreadId(n)
+    }
+
+    fn got(tid: ThreadId, stolen: bool) -> Pop {
+        Pop::Got { tid, stolen }
+    }
+
+    #[test]
+    fn owner_works_lifo_on_own_deque() {
+        let mut s = DfDequesSched::new(1024, 2);
+        s.on_ready(t(1), 0, VirtTime::ZERO, 0, None);
+        s.on_ready(t(2), 0, VirtTime::ZERO, 0, None);
+        assert_eq!(s.pop(0, VirtTime::ZERO), got(t(2), false));
+        assert_eq!(s.pop(0, VirtTime::ZERO), got(t(1), false));
+        assert_eq!(s.pop(0, VirtTime::ZERO), Pop::Empty);
+    }
+
+    #[test]
+    fn thief_takes_top_of_leftmost_deque() {
+        let mut s = DfDequesSched::new(1024, 3);
+        // Proc 0's deque: [1 (top/oldest), 2]; proc 1's deque: [3].
+        s.on_ready(t(1), 0, VirtTime::ZERO, 0, None);
+        s.on_ready(t(2), 0, VirtTime::ZERO, 0, None);
+        s.on_ready(t(3), 0, VirtTime::ZERO, 1, None);
+        // Proc 2 steals the serially earliest: top of proc 0's (leftmost)
+        // deque = t1.
+        assert_eq!(s.pop(2, VirtTime::ZERO), got(t(1), true));
+        // Proc 2 now owns a deque left of proc 0's; its next ready children
+        // land there; with nothing of its own it steals t2 next.
+        assert_eq!(s.pop(2, VirtTime::ZERO), got(t(2), true));
+        assert_eq!(s.pop(2, VirtTime::ZERO), got(t(3), true));
+        assert_eq!(s.pop(2, VirtTime::ZERO), Pop::Empty);
+    }
+
+    #[test]
+    fn stolen_deque_position_keeps_serial_order() {
+        let mut s = DfDequesSched::new(1024, 2);
+        s.on_ready(t(1), 0, VirtTime::ZERO, 0, None);
+        s.on_ready(t(2), 0, VirtTime::ZERO, 0, None);
+        // Proc 1 steals t1, then pushes a child: the child sits in proc 1's
+        // deque, which lies LEFT of proc 0's deque, so a third party must
+        // prefer it over t2.
+        assert_eq!(s.pop(1, VirtTime::ZERO), got(t(1), true));
+        s.on_ready(t(9), 0, VirtTime::ZERO, 1, None);
+        // Proc 0 consumes its own first (owner fast path)…
+        assert_eq!(s.pop(0, VirtTime::ZERO), got(t(2), false));
+        // …but once empty it steals the leftmost = proc 1's t9.
+        assert_eq!(s.pop(0, VirtTime::ZERO), got(t(9), true));
+    }
+
+    #[test]
+    fn not_yet_entries_respected() {
+        let mut s = DfDequesSched::new(1024, 2);
+        s.on_ready(t(1), 0, VirtTime::from_ns(100), 0, None);
+        assert_eq!(s.pop(1, VirtTime::from_ns(50)), Pop::NotYet(VirtTime::from_ns(100)));
+        assert_eq!(s.pop(1, VirtTime::from_ns(100)), got(t(1), true));
+    }
+}

@@ -1,0 +1,184 @@
+//! The original Solaris policy: a FIFO ready queue per priority level.
+//!
+//! Forked children are appended to the queue and the parent keeps running,
+//! so the computation graph executes breadth-first — the behaviour whose
+//! space and time costs the paper's §3 documents.
+//!
+//! Woken (previously-run) threads carry a processor-affinity hint: a
+//! dispatching processor prefers the first eligible entry that last ran on
+//! it, modelling the kernel's LWP/CPU affinity. This matters for the
+//! coarse-grained SPMD benchmarks, which park at barriers every iteration.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use ptdf_smp::{ProcId, VirtTime};
+
+use crate::config::SchedKind;
+use crate::sched::{Policy, Pop};
+use crate::thread::ThreadId;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    tid: ThreadId,
+    at: VirtTime,
+    affinity: Option<ProcId>,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct FifoSched {
+    /// priority → queue; popped from the front. Iterated in reverse order so
+    /// higher priorities win.
+    queues: BTreeMap<i32, VecDeque<Entry>>,
+    ready: usize,
+}
+
+impl FifoSched {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, tid: ThreadId, prio: i32, at: VirtTime, affinity: Option<ProcId>) {
+        self.queues
+            .entry(prio)
+            .or_default()
+            .push_back(Entry { tid, at, affinity });
+        self.ready += 1;
+    }
+}
+
+impl Policy for FifoSched {
+    fn kind(&self) -> SchedKind {
+        SchedKind::Fifo
+    }
+
+    fn on_create(
+        &mut self,
+        t: ThreadId,
+        _parent: Option<ThreadId>,
+        prio: i32,
+        enqueue: bool,
+        at: VirtTime,
+        _on_proc: ProcId,
+    ) {
+        debug_assert!(enqueue, "FIFO never direct-hands children");
+        if enqueue {
+            self.push(t, prio, at, None);
+        }
+    }
+
+    fn on_ready(
+        &mut self,
+        t: ThreadId,
+        prio: i32,
+        at: VirtTime,
+        _waker: ProcId,
+        affinity: Option<ProcId>,
+    ) {
+        self.push(t, prio, at, affinity);
+    }
+
+    fn pop(&mut self, p: ProcId, now: VirtTime) -> Pop {
+        if self.ready == 0 {
+            return Pop::Empty;
+        }
+        let mut earliest: Option<VirtTime> = None;
+        for (_, q) in self.queues.iter_mut().rev() {
+            // Take the first eligible entry, unless it last ran on a
+            // *different* processor and a later eligible entry has affinity
+            // for this one (in which case swap preference — the other entry
+            // will be picked up by its own processor). This keeps FIFO
+            // fairness while modelling CPU affinity.
+            let eligible = |e: &Entry| e.at <= now;
+            let first = q.iter().position(eligible);
+            let pos = match first {
+                Some(f) if q[f].affinity.is_some() && q[f].affinity != Some(p) => q
+                    .iter()
+                    .position(|e| eligible(e) && e.affinity == Some(p))
+                    .or(first),
+                other => other,
+            };
+            if let Some(pos) = pos {
+                let e = q.remove(pos).expect("position valid");
+                self.ready -= 1;
+                return Pop::Got {
+                    tid: e.tid,
+                    stolen: false,
+                };
+            }
+            if let Some(min) = q.iter().map(|e| e.at).min() {
+                earliest = Some(earliest.map_or(min, |x: VirtTime| if min < x { min } else { x }));
+            }
+        }
+        match earliest {
+            Some(t) => Pop::NotYet(t),
+            None => Pop::Empty,
+        }
+    }
+
+    fn ready_len(&self) -> usize {
+        self.ready
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u32) -> ThreadId {
+        ThreadId(n)
+    }
+
+    fn got(tid: ThreadId) -> Pop {
+        Pop::Got { tid, stolen: false }
+    }
+
+    #[test]
+    fn fifo_order_within_level() {
+        let mut s = FifoSched::new();
+        for i in 1..=3 {
+            s.on_ready(t(i), 0, VirtTime::ZERO, 0, None);
+        }
+        assert_eq!(s.pop(0, VirtTime::ZERO), got(t(1)));
+        assert_eq!(s.pop(0, VirtTime::ZERO), got(t(2)));
+        assert_eq!(s.pop(0, VirtTime::ZERO), got(t(3)));
+        assert_eq!(s.pop(0, VirtTime::ZERO), Pop::Empty);
+    }
+
+    #[test]
+    fn priority_levels_respected() {
+        let mut s = FifoSched::new();
+        s.on_ready(t(1), 0, VirtTime::ZERO, 0, None);
+        s.on_ready(t(2), 5, VirtTime::ZERO, 0, None);
+        s.on_ready(t(3), -1, VirtTime::ZERO, 0, None);
+        assert_eq!(s.pop(0, VirtTime::ZERO), got(t(2)));
+        assert_eq!(s.pop(0, VirtTime::ZERO), got(t(1)));
+        assert_eq!(s.pop(0, VirtTime::ZERO), got(t(3)));
+    }
+
+    #[test]
+    fn future_entries_are_invisible() {
+        let mut s = FifoSched::new();
+        s.on_ready(t(1), 0, VirtTime::from_ns(100), 0, None);
+        assert_eq!(s.pop(0, VirtTime::from_ns(50)), Pop::NotYet(VirtTime::from_ns(100)));
+        assert_eq!(s.pop(0, VirtTime::from_ns(100)), got(t(1)));
+    }
+
+    #[test]
+    fn eligible_entry_behind_future_entry_is_found() {
+        let mut s = FifoSched::new();
+        s.on_ready(t(1), 0, VirtTime::from_ns(100), 0, None);
+        s.on_ready(t(2), 0, VirtTime::from_ns(10), 0, None);
+        assert_eq!(s.pop(0, VirtTime::from_ns(20)), got(t(2)));
+    }
+
+    #[test]
+    fn affinity_preferred_over_fifo_order() {
+        let mut s = FifoSched::new();
+        s.on_ready(t(1), 0, VirtTime::ZERO, 0, Some(3));
+        s.on_ready(t(2), 0, VirtTime::ZERO, 0, Some(7));
+        // Processor 7 prefers its own previous thread even though t1 is first.
+        assert_eq!(s.pop(7, VirtTime::ZERO), got(t(2)));
+        // Processor 5 has no affinity match: plain FIFO.
+        assert_eq!(s.pop(5, VirtTime::ZERO), got(t(1)));
+    }
+}

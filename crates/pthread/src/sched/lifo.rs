@@ -1,0 +1,165 @@
+//! LIFO policy (§4 item 1): a stack of ready threads per priority level.
+//!
+//! Forked children are pushed and the parent keeps running; popping the most
+//! recently pushed thread executes the computation graph in an order close
+//! to depth-first, which already reduces the number of simultaneously live
+//! threads dramatically compared to FIFO. Woken threads carry the same
+//! processor-affinity hint as in the FIFO policy.
+
+use std::collections::BTreeMap;
+
+use ptdf_smp::{ProcId, VirtTime};
+
+use crate::config::SchedKind;
+use crate::sched::{Policy, Pop};
+use crate::thread::ThreadId;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    tid: ThreadId,
+    at: VirtTime,
+    affinity: Option<ProcId>,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct LifoSched {
+    /// priority → stack; popped from the back.
+    stacks: BTreeMap<i32, Vec<Entry>>,
+    ready: usize,
+}
+
+impl LifoSched {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, tid: ThreadId, prio: i32, at: VirtTime, affinity: Option<ProcId>) {
+        self.stacks
+            .entry(prio)
+            .or_default()
+            .push(Entry { tid, at, affinity });
+        self.ready += 1;
+    }
+}
+
+impl Policy for LifoSched {
+    fn kind(&self) -> SchedKind {
+        SchedKind::Lifo
+    }
+
+    fn on_create(
+        &mut self,
+        t: ThreadId,
+        _parent: Option<ThreadId>,
+        prio: i32,
+        enqueue: bool,
+        at: VirtTime,
+        _on_proc: ProcId,
+    ) {
+        debug_assert!(enqueue, "LIFO never direct-hands children");
+        if enqueue {
+            self.push(t, prio, at, None);
+        }
+    }
+
+    fn on_ready(
+        &mut self,
+        t: ThreadId,
+        prio: i32,
+        at: VirtTime,
+        _waker: ProcId,
+        affinity: Option<ProcId>,
+    ) {
+        self.push(t, prio, at, affinity);
+    }
+
+    fn pop(&mut self, p: ProcId, now: VirtTime) -> Pop {
+        if self.ready == 0 {
+            return Pop::Empty;
+        }
+        let mut earliest: Option<VirtTime> = None;
+        for (_, stack) in self.stacks.iter_mut().rev() {
+            let eligible = |e: &Entry| e.at <= now;
+            // Newest-first within a level; if the newest eligible entry last
+            // ran on another processor, prefer one of our own (see the FIFO
+            // policy for the rationale).
+            let newest = stack.iter().rposition(eligible);
+            let pos = match newest {
+                Some(f) if stack[f].affinity.is_some() && stack[f].affinity != Some(p) => stack
+                    .iter()
+                    .rposition(|e| eligible(e) && e.affinity == Some(p))
+                    .or(newest),
+                other => other,
+            };
+            if let Some(pos) = pos {
+                let e = stack.remove(pos);
+                self.ready -= 1;
+                return Pop::Got {
+                    tid: e.tid,
+                    stolen: false,
+                };
+            }
+            if let Some(min) = stack.iter().map(|e| e.at).min() {
+                earliest = Some(earliest.map_or(min, |x: VirtTime| if min < x { min } else { x }));
+            }
+        }
+        match earliest {
+            Some(t) => Pop::NotYet(t),
+            None => Pop::Empty,
+        }
+    }
+
+    fn ready_len(&self) -> usize {
+        self.ready
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u32) -> ThreadId {
+        ThreadId(n)
+    }
+
+    fn got(tid: ThreadId) -> Pop {
+        Pop::Got { tid, stolen: false }
+    }
+
+    #[test]
+    fn lifo_order() {
+        let mut s = LifoSched::new();
+        for i in 1..=3 {
+            s.on_ready(t(i), 0, VirtTime::ZERO, 0, None);
+        }
+        assert_eq!(s.pop(0, VirtTime::ZERO), got(t(3)));
+        assert_eq!(s.pop(0, VirtTime::ZERO), got(t(2)));
+        assert_eq!(s.pop(0, VirtTime::ZERO), got(t(1)));
+    }
+
+    #[test]
+    fn newest_eligible_wins_over_older_eligible() {
+        let mut s = LifoSched::new();
+        s.on_ready(t(1), 0, VirtTime::from_ns(5), 0, None);
+        s.on_ready(t(2), 0, VirtTime::from_ns(50), 0, None);
+        s.on_ready(t(3), 0, VirtTime::from_ns(8), 0, None);
+        assert_eq!(s.pop(0, VirtTime::from_ns(10)), got(t(3)));
+        assert_eq!(s.pop(0, VirtTime::from_ns(10)), got(t(1)));
+        assert_eq!(s.pop(0, VirtTime::from_ns(10)), Pop::NotYet(VirtTime::from_ns(50)));
+    }
+
+    #[test]
+    fn affinity_preferred_over_lifo_order() {
+        let mut s = LifoSched::new();
+        s.on_ready(t(1), 0, VirtTime::ZERO, 0, Some(2));
+        s.on_ready(t(2), 0, VirtTime::ZERO, 0, Some(0));
+        // LIFO would give t2, but t2 last ran elsewhere and processor 2
+        // prefers its own t1.
+        assert_eq!(s.pop(2, VirtTime::ZERO), got(t(1)));
+        assert_eq!(s.pop(2, VirtTime::ZERO), got(t(2)));
+        // A fresh (no-affinity) newest entry is NOT skipped.
+        s.on_ready(t(3), 0, VirtTime::ZERO, 0, Some(2));
+        s.on_ready(t(4), 0, VirtTime::ZERO, 0, None);
+        assert_eq!(s.pop(2, VirtTime::ZERO), got(t(4)));
+    }
+}

@@ -1,0 +1,504 @@
+//! Blocking synchronization primitives: mutexes, condition variables,
+//! semaphores, and barriers.
+//!
+//! These are the "rich Pthreads functionality" the paper emphasizes its
+//! scheduler supports (unlike Cilk-style systems restricted to fork/join):
+//! a thread that blocks keeps its placeholder in the DF scheduler's ordered
+//! queue and resumes at its depth-first position when woken.
+//!
+//! Handle semantics: each primitive is a cheap clonable handle (like a
+//! `pthread_mutex_t*`); clones refer to the same underlying object. Outside
+//! a runtime the primitives degrade to plain sequential semantics (locking
+//! an unlocked mutex succeeds; blocking would self-deadlock and panics).
+
+use std::cell::{Cell, RefCell, UnsafeCell};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::api::par_ctx;
+use crate::runtime::suspend_current;
+use crate::thread::{ThreadId, YieldReason};
+
+/// Sentinel owner for lock acquisition outside a runtime.
+const NO_THREAD: ThreadId = ThreadId(u32::MAX - 1);
+
+fn current_or_sentinel() -> ThreadId {
+    crate::api::current_thread().unwrap_or(NO_THREAD)
+}
+
+fn charge_sync_op() {
+    if let Some(rc) = par_ctx() {
+        {
+            let mut inner = rc.borrow_mut();
+            let (_, p) = inner.cur.expect("sync op outside a thread");
+            let c = inner.machine.cost().sync_op;
+            inner.machine.sync_op(p, c);
+        }
+        crate::runtime::maybe_timeslice(&rc);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+struct MutexState {
+    owner: Cell<Option<ThreadId>>,
+    waiters: RefCell<VecDeque<ThreadId>>,
+}
+
+struct MutexInner<T: ?Sized> {
+    state: MutexState,
+    value: UnsafeCell<T>,
+}
+
+/// A blocking mutual-exclusion lock protecting a `T`.
+///
+/// Lock handoff is direct: `unlock` transfers ownership to the first waiter
+/// (FIFO), which avoids barging and makes the timing model simple.
+pub struct Mutex<T> {
+    inner: Rc<MutexInner<T>>,
+}
+
+impl<T> Clone for Mutex<T> {
+    fn clone(&self) -> Self {
+        Mutex {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex")
+            .field("locked", &self.inner.state.owner.get().is_some())
+            .finish()
+    }
+}
+
+/// RAII guard; unlocks on drop.
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex protecting `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: Rc::new(MutexInner {
+                state: MutexState {
+                    owner: Cell::new(None),
+                    waiters: RefCell::new(VecDeque::new()),
+                },
+                value: UnsafeCell::new(value),
+            }),
+        }
+    }
+
+    /// Acquires the lock, blocking the calling thread if necessary.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        charge_sync_op();
+        let me = current_or_sentinel();
+        match par_ctx() {
+            Some(rc) => {
+                let must_block = {
+                    let st = &self.inner.state;
+                    if st.owner.get().is_none() {
+                        st.owner.set(Some(me));
+                        false
+                    } else {
+                        assert_ne!(
+                            st.owner.get(),
+                            Some(me),
+                            "recursive lock would self-deadlock"
+                        );
+                        st.waiters.borrow_mut().push_back(me);
+                        let mut inner = rc.borrow_mut();
+                        inner.block_current();
+                        true
+                    }
+                };
+                if must_block {
+                    suspend_current(&rc, YieldReason::Blocked);
+                    // Direct handoff: the unlocker made us the owner.
+                    debug_assert_eq!(self.inner.state.owner.get(), Some(me));
+                }
+            }
+            None => {
+                assert!(
+                    self.inner.state.owner.get().is_none(),
+                    "mutex contended outside a runtime: would deadlock"
+                );
+                self.inner.state.owner.set(Some(me));
+            }
+        }
+        MutexGuard { mutex: self }
+    }
+
+    /// Attempts the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        charge_sync_op();
+        let st = &self.inner.state;
+        if st.owner.get().is_none() {
+            st.owner.set(Some(current_or_sentinel()));
+            Some(MutexGuard { mutex: self })
+        } else {
+            None
+        }
+    }
+
+    /// Whether the mutex is currently held.
+    pub fn is_locked(&self) -> bool {
+        self.inner.state.owner.get().is_some()
+    }
+
+    /// Consumes the mutex, returning the protected value (fails if other
+    /// handles still share it).
+    pub fn into_inner(self) -> Result<T, Mutex<T>> {
+        assert!(!self.is_locked(), "into_inner on a locked mutex");
+        match Rc::try_unwrap(self.inner) {
+            Ok(inner) => Ok(inner.value.into_inner()),
+            Err(inner) => Err(Mutex { inner }),
+        }
+    }
+
+    fn unlock(&self) {
+        charge_sync_op();
+        let st = &self.inner.state;
+        let next = st.waiters.borrow_mut().pop_front();
+        match next {
+            Some(w) => {
+                st.owner.set(Some(w));
+                if let Some(rc) = par_ctx() {
+                    if let Ok(mut inner) = rc.try_borrow_mut() {
+                        if let Some((_, p)) = inner.cur {
+                            inner.make_ready(w, p);
+                        }
+                    }
+                }
+            }
+            None => st.owner.set(None),
+        }
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard witnesses exclusive logical ownership.
+        unsafe { &*self.mutex.inner.value.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above.
+        unsafe { &mut *self.mutex.inner.value.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.mutex.unlock();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// A condition variable; pairs with [`Mutex`] as `pthread_cond_t` pairs with
+/// `pthread_mutex_t`.
+#[derive(Clone, Default)]
+pub struct Condvar {
+    waiters: Rc<RefCell<VecDeque<ThreadId>>>,
+}
+
+impl Condvar {
+    /// New condition variable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Atomically releases `guard` and blocks until notified; re-acquires
+    /// the mutex before returning.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let rc = par_ctx().expect("Condvar::wait requires a runtime");
+        let mutex = guard.mutex;
+        {
+            let me = crate::api::current_thread().expect("wait outside a thread");
+            self.waiters.borrow_mut().push_back(me);
+            let mut inner = rc.borrow_mut();
+            inner.block_current();
+        }
+        drop(guard); // releases the mutex (may hand it to a lock waiter)
+        suspend_current(&rc, YieldReason::Blocked);
+        mutex.lock()
+    }
+
+    /// Blocks until `cond(&mut value)` is false, re-checking after every
+    /// wakeup (`pthread_cond_wait` in its canonical while-loop idiom).
+    pub fn wait_while<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        mut cond: impl FnMut(&mut T) -> bool,
+    ) -> MutexGuard<'a, T> {
+        while cond(&mut guard) {
+            guard = self.wait(guard);
+        }
+        guard
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        charge_sync_op();
+        let woken = self.waiters.borrow_mut().pop_front();
+        if let Some(w) = woken {
+            wake(w);
+        }
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        charge_sync_op();
+        let woken: Vec<_> = self.waiters.borrow_mut().drain(..).collect();
+        for w in woken {
+            wake(w);
+        }
+    }
+
+    /// Number of threads currently waiting.
+    pub fn waiter_count(&self) -> usize {
+        self.waiters.borrow().len()
+    }
+}
+
+fn wake(t: ThreadId) {
+    let rc = par_ctx().expect("notify requires a runtime");
+    let mut inner = rc.borrow_mut();
+    let (_, p) = inner.cur.expect("notify outside a thread");
+    inner.make_ready(t, p);
+}
+
+// ---------------------------------------------------------------------------
+// Semaphore
+// ---------------------------------------------------------------------------
+
+struct SemState {
+    permits: Cell<i64>,
+    waiters: RefCell<VecDeque<ThreadId>>,
+}
+
+/// A counting semaphore (POSIX `sem_t`), used by the paper's Figure 3
+/// two-thread synchronization microbenchmark.
+#[derive(Clone)]
+pub struct Semaphore {
+    state: Rc<SemState>,
+}
+
+impl Semaphore {
+    /// Creates a semaphore with `permits` initial permits.
+    pub fn new(permits: i64) -> Self {
+        Semaphore {
+            state: Rc::new(SemState {
+                permits: Cell::new(permits),
+                waiters: RefCell::new(VecDeque::new()),
+            }),
+        }
+    }
+
+    /// P / `sem_wait`: takes a permit, blocking while none are available.
+    pub fn acquire(&self) {
+        charge_sync_op();
+        match par_ctx() {
+            Some(rc) => {
+                let must_block = {
+                    if self.state.permits.get() > 0 {
+                        self.state.permits.set(self.state.permits.get() - 1);
+                        false
+                    } else {
+                        let me = crate::api::current_thread().expect("acquire outside a thread");
+                        self.state.waiters.borrow_mut().push_back(me);
+                        let mut inner = rc.borrow_mut();
+                        inner.block_current();
+                        true
+                    }
+                };
+                if must_block {
+                    // Direct handoff: the releaser consumed the permit for us.
+                    suspend_current(&rc, YieldReason::Blocked);
+                }
+            }
+            None => {
+                assert!(
+                    self.state.permits.get() > 0,
+                    "semaphore acquire would deadlock outside a runtime"
+                );
+                self.state.permits.set(self.state.permits.get() - 1);
+            }
+        }
+    }
+
+    /// Non-blocking P: takes a permit if one is available.
+    pub fn try_acquire(&self) -> bool {
+        charge_sync_op();
+        if self.state.permits.get() > 0 {
+            self.state.permits.set(self.state.permits.get() - 1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// V / `sem_post`: returns a permit, waking one waiter if present.
+    pub fn release(&self) {
+        charge_sync_op();
+        let woken = self.state.waiters.borrow_mut().pop_front();
+        match woken {
+            Some(w) => wake(w),
+            None => self.state.permits.set(self.state.permits.get() + 1),
+        }
+    }
+
+    /// Current permit count.
+    pub fn permits(&self) -> i64 {
+        self.state.permits.get()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Barrier
+// ---------------------------------------------------------------------------
+
+struct BarrierState {
+    n: usize,
+    count: Cell<usize>,
+    waiters: RefCell<Vec<ThreadId>>,
+}
+
+/// A reusable barrier for `n` threads (the coarse-grained SPMD benchmarks
+/// synchronize phases with one of these, as in SPLASH-2).
+#[derive(Clone)]
+pub struct Barrier {
+    state: Rc<BarrierState>,
+}
+
+impl Barrier {
+    /// Creates a barrier for `n` participants.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1);
+        Barrier {
+            state: Rc::new(BarrierState {
+                n,
+                count: Cell::new(0),
+                waiters: RefCell::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Blocks until all `n` participants arrive. Returns `true` on the
+    /// leader (last arriver).
+    pub fn wait(&self) -> bool {
+        charge_sync_op();
+        if self.state.n == 1 {
+            return true;
+        }
+        let rc = par_ctx().expect("Barrier::wait with n > 1 requires a runtime");
+        let arrived = self.state.count.get() + 1;
+        if arrived == self.state.n {
+            self.state.count.set(0);
+            let woken = std::mem::take(&mut *self.state.waiters.borrow_mut());
+            let mut inner = rc.borrow_mut();
+            let (_, p) = inner.cur.expect("barrier outside a thread");
+            for w in woken {
+                inner.make_ready(w, p);
+            }
+            true
+        } else {
+            self.state.count.set(arrived);
+            {
+                let me = crate::api::current_thread().expect("barrier outside a thread");
+                self.state.waiters.borrow_mut().push(me);
+                let mut inner = rc.borrow_mut();
+                inner.block_current();
+            }
+            suspend_current(&rc, YieldReason::Blocked);
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run, scope, spawn, Config, SchedKind};
+
+    #[test]
+    fn wait_while_loops_until_condition_clears() {
+        let (seen, _) = run(Config::new(2, SchedKind::Df), || {
+            let q = Mutex::new(0u32);
+            let cv = Condvar::new();
+            let (q2, cv2) = (q.clone(), cv.clone());
+            let producer = spawn(move || {
+                for _ in 0..5 {
+                    crate::work(10_000);
+                    *q2.lock() += 1;
+                    cv2.notify_one(); // wakes even when below threshold
+                }
+            });
+            let g = cv.wait_while(q.lock(), |v| *v < 5);
+            let seen = *g;
+            drop(g);
+            producer.join();
+            seen
+        });
+        assert_eq!(seen, 5);
+    }
+
+    #[test]
+    fn try_acquire_counts_permits() {
+        let s = Semaphore::new(2);
+        assert!(s.try_acquire());
+        assert!(s.try_acquire());
+        assert!(!s.try_acquire());
+        s.release();
+        assert!(s.try_acquire());
+    }
+
+    #[test]
+    fn mutex_into_inner_roundtrip() {
+        let m = Mutex::new(vec![1, 2, 3]);
+        let m2 = m.clone();
+        // Shared: must fail and give the handle back.
+        let m = m.into_inner().unwrap_err();
+        drop(m2);
+        assert_eq!(m.into_inner().unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn wait_while_under_contention() {
+        let (total, _) = run(Config::new(4, SchedKind::Ws), || {
+            let slots = Mutex::new(3i32);
+            let cv = Condvar::new();
+            let done = Mutex::new(0u32);
+            scope(|s| {
+                for _ in 0..12 {
+                    let (slots, cv, done) = (slots.clone(), cv.clone(), done.clone());
+                    s.spawn(move || {
+                        // Acquire one of 3 slots, work, release.
+                        let mut g = cv.wait_while(slots.lock(), |v| *v == 0);
+                        *g -= 1;
+                        drop(g);
+                        crate::work(5_000);
+                        *slots.lock() += 1;
+                        cv.notify_one();
+                        *done.lock() += 1;
+                    });
+                }
+            });
+            let v = *done.lock();
+            v
+        });
+        assert_eq!(total, 12);
+    }
+}

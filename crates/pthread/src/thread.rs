@@ -1,0 +1,176 @@
+//! Thread control blocks and join handles.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ptdf_fiber::{Coroutine, Yielder};
+use ptdf_smp::ProcId;
+
+use crate::config::Attr;
+
+/// Identifier of a thread within one run. Ids are never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadId(pub(crate) u32);
+
+impl ThreadId {
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Reason a fiber suspended back to the engine.
+#[derive(Debug)]
+pub(crate) enum YieldReason {
+    /// Forked a child under a preempt-on-fork policy; the child should be
+    /// dispatched on this processor next and the parent re-queued.
+    Forked { child: ThreadId },
+    /// The thread registered itself on some wait queue (mutex, condvar,
+    /// join, ...) and must not be re-queued until made ready.
+    Blocked,
+    /// Memory quota exhausted (DF policy); re-queue at own position.
+    Preempted,
+    /// Voluntary yield; re-queue.
+    Yielded,
+    /// Simulation time-slice: this fiber ran far ahead of the other
+    /// processors' virtual clocks and must pause so that virtually
+    /// concurrent segments interleave correctly. The engine resumes it on
+    /// the same processor with **zero modelled cost** — it is an artifact
+    /// of sequential simulation, not a scheduling event.
+    Timeslice,
+}
+
+pub(crate) type Fiber = Coroutine<(), YieldReason, ()>;
+pub(crate) type FiberYielder = Yielder<(), YieldReason, ()>;
+
+/// Lifecycle state of a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TState {
+    /// Created, never dispatched.
+    Created,
+    /// In the scheduler's ready set.
+    Ready,
+    /// Currently executing on a processor.
+    Running(ProcId),
+    /// On a wait queue.
+    Blocked,
+    /// Finished.
+    Exited,
+}
+
+/// What kind of thread this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Kind {
+    /// The root thread running the user's entry closure.
+    Root,
+    /// An application thread.
+    User,
+    /// A no-op thread inserted by the DF allocation hook (§4 item 2).
+    Dummy,
+}
+
+/// Thread control block.
+pub(crate) struct Tcb {
+    pub state: TState,
+    pub kind: Kind,
+    pub fiber: Option<Fiber>,
+    /// Raw pointer to the fiber's `Yielder`, registered by the fiber body on
+    /// first dispatch; valid whenever the fiber is alive.
+    pub yielder: *const FiberYielder,
+    pub attr: Attr,
+    /// Reserved (accounted) stack bytes.
+    pub stack_reserved: u64,
+    /// Committed (accounted) stack bytes under the lazy-commit model.
+    pub stack_committed: u64,
+    pub has_run: bool,
+    /// Remaining memory quota in this scheduling quantum (DF policy).
+    pub quota: i64,
+    /// Thread blocked in `join` on us, woken at exit.
+    pub joiner: Option<ThreadId>,
+    /// Detached threads are reclaimed without a join (informational; the
+    /// engine reclaims every exited thread's fiber eagerly either way).
+    #[allow(dead_code)]
+    pub detached: bool,
+    /// Set when the thread body panicked; payload delivered at join.
+    pub panic: Option<Box<dyn Any + Send>>,
+    /// Processor this thread last ran on (affinity hint for the queue
+    /// policies).
+    pub last_proc: Option<ptdf_smp::ProcId>,
+    /// For [`Kind::Dummy`]: how many dummies this subtree still represents
+    /// (the §4 item 2 dummies are forked lazily as a binary tree).
+    pub dummy_remaining: u64,
+    /// Virtual time at which the thread exited (join happens-before edge).
+    pub exit_time: ptdf_smp::VirtTime,
+    /// Virtual time at which the thread last blocked (wake happens-before
+    /// edge: a wake may not resume it earlier than its own suspension).
+    pub blocked_at: ptdf_smp::VirtTime,
+}
+
+impl Tcb {
+    pub fn new(kind: Kind, attr: Attr, stack_reserved: u64) -> Self {
+        Tcb {
+            state: TState::Created,
+            kind,
+            fiber: None,
+            yielder: std::ptr::null(),
+            detached: attr.detached,
+            attr,
+            stack_reserved,
+            stack_committed: 0,
+            has_run: false,
+            quota: 0,
+            joiner: None,
+            panic: None,
+            last_proc: None,
+            dummy_remaining: 0,
+            exit_time: ptdf_smp::VirtTime::ZERO,
+            blocked_at: ptdf_smp::VirtTime::ZERO,
+        }
+    }
+}
+
+/// Shared result slot between a thread and its join handle.
+pub(crate) type Slot<T> = Rc<RefCell<Option<T>>>;
+
+/// Owned handle to a spawned thread; consume with [`JoinHandle::join`].
+///
+/// Unlike `pthread_join`, the handle is typed: the thread's closure return
+/// value is delivered to the joiner. Dropping the handle without joining
+/// detaches the thread (it still runs to completion).
+pub struct JoinHandle<T> {
+    pub(crate) id: ThreadId,
+    pub(crate) slot: Slot<T>,
+    /// Inline-completed handle (serial / no-runtime mode): value is already
+    /// in the slot and no runtime interaction is needed.
+    pub(crate) inline: bool,
+}
+
+impl<T> JoinHandle<T> {
+    /// The spawned thread's id.
+    pub fn id(&self) -> ThreadId {
+        self.id
+    }
+
+    /// Waits for the thread to finish and returns its result.
+    ///
+    /// # Panics
+    /// Re-raises a panic that escaped the thread's closure.
+    pub fn join(self) -> T {
+        crate::api::join_impl(&self)
+    }
+
+    /// Explicitly detaches the thread (equivalent to dropping the handle).
+    pub fn detach(self) {}
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle").field("id", &self.id).finish()
+    }
+}

@@ -1,0 +1,139 @@
+//! Thread-specific data (`pthread_key_create` / `pthread_setspecific`).
+//!
+//! A [`TlsKey<T>`] gives each runtime thread its own slot of type `T`.
+//! Slots are created lazily via the key's initializer and dropped when the
+//! run ends (the paper's library destroys TSD at thread exit; values here
+//! live in the key, keyed by [`crate::ThreadId`], and ids are never reused
+//! within a run, which gives the same observable semantics).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::thread::ThreadId;
+
+/// A key for per-thread values of type `T` (handle semantics; clones share
+/// the same key).
+pub struct TlsKey<T> {
+    slots: Rc<RefCell<HashMap<ThreadId, T>>>,
+    init: Rc<dyn Fn() -> T>,
+}
+
+impl<T> Clone for TlsKey<T> {
+    fn clone(&self) -> Self {
+        TlsKey {
+            slots: self.slots.clone(),
+            init: self.init.clone(),
+        }
+    }
+}
+
+/// Key used for code running outside any runtime thread (serial mode /
+/// plain calls): a single shared slot.
+const OUTSIDE: ThreadId = ThreadId(u32::MAX - 2);
+
+impl<T> TlsKey<T> {
+    /// Creates a key whose per-thread values start as `init()`.
+    pub fn new(init: impl Fn() -> T + 'static) -> Self {
+        TlsKey {
+            slots: Rc::new(RefCell::new(HashMap::new())),
+            init: Rc::new(init),
+        }
+    }
+
+    fn me(&self) -> ThreadId {
+        crate::api::current_thread().unwrap_or(OUTSIDE)
+    }
+
+    /// Runs `f` with a mutable reference to the calling thread's slot
+    /// (initializing it first if needed).
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let me = self.me();
+        let mut slots = self.slots.borrow_mut();
+        let slot = slots.entry(me).or_insert_with(|| (self.init)());
+        f(slot)
+    }
+
+    /// Replaces the calling thread's value (`pthread_setspecific`).
+    pub fn set(&self, value: T) {
+        self.slots.borrow_mut().insert(self.me(), value);
+    }
+
+    /// Takes the calling thread's value out, if set.
+    pub fn take(&self) -> Option<T> {
+        self.slots.borrow_mut().remove(&self.me())
+    }
+
+    /// Clones the calling thread's value (`pthread_getspecific`).
+    pub fn get(&self) -> T
+    where
+        T: Clone,
+    {
+        self.with(|v| v.clone())
+    }
+
+    /// Number of threads that have touched this key.
+    pub fn len(&self) -> usize {
+        self.slots.borrow().len()
+    }
+
+    /// True if no thread has touched the key.
+    pub fn is_empty(&self) -> bool {
+        self.slots.borrow().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run, scope, Config, SchedKind};
+
+    #[test]
+    fn outside_runtime_acts_as_single_slot() {
+        let k = TlsKey::new(|| 0u32);
+        k.set(7);
+        assert_eq!(k.get(), 7);
+        k.with(|v| *v += 1);
+        assert_eq!(k.take(), Some(8));
+        assert_eq!(k.get(), 0, "fresh after take");
+    }
+
+    #[test]
+    fn each_thread_gets_its_own_slot() {
+        let (sums, _) = run(Config::new(4, SchedKind::Df), || {
+            let key = TlsKey::new(|| 0u64);
+            let k2 = key.clone();
+            scope(|s| {
+                for i in 0..16u64 {
+                    let key = key.clone();
+                    s.spawn(move || {
+                        // Accumulate privately; no synchronization needed.
+                        for _ in 0..=i {
+                            key.with(|v| *v += 1);
+                        }
+                    });
+                }
+            });
+            // 16 worker slots were created (none shared).
+            assert!(k2.len() >= 16);
+            k2
+        });
+        let _ = sums;
+    }
+
+    #[test]
+    fn values_do_not_leak_across_threads() {
+        let (ok, _) = run(Config::new(2, SchedKind::Fifo), || {
+            let key = TlsKey::new(|| -1i64);
+            let k1 = key.clone();
+            let a = crate::spawn(move || {
+                k1.set(100);
+                k1.get()
+            });
+            let k2 = key.clone();
+            let b = crate::spawn(move || k2.get());
+            a.join() == 100 && b.join() == -1
+        });
+        assert!(ok);
+    }
+}

@@ -1,0 +1,184 @@
+//! Execution tracing: per-dispatch records of what ran where on the virtual
+//! timeline, exportable as a Chrome trace (`chrome://tracing`, Perfetto) for
+//! visual inspection of scheduler behaviour.
+//!
+//! Enable with [`crate::Config::with_trace`]; the trace comes back on the
+//! run's [`crate::Report`].
+
+use crate::thread::ThreadId;
+use ptdf_smp::{ProcId, VirtTime};
+
+/// What a trace span represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum SpanKind {
+    /// A thread executing a scheduling quantum.
+    Run,
+    /// A dummy (allocation-throttle) thread.
+    Dummy,
+    /// Cost-free continuation of a time-sliced fiber.
+    Resume,
+}
+
+/// One execution span on a virtual processor.
+#[derive(Debug, Clone, Copy, serde::Serialize)]
+pub struct Span {
+    /// Virtual processor.
+    pub proc: ProcId,
+    /// Thread id.
+    pub thread: u32,
+    /// Span start (virtual).
+    pub start: VirtTime,
+    /// Span end (virtual).
+    pub end: VirtTime,
+    /// Span kind.
+    pub kind: SpanKind,
+}
+
+/// A recorded execution trace.
+#[derive(Debug, Clone, Default, serde::Serialize)]
+pub struct Trace {
+    /// All spans, in engine (real-time) order.
+    pub spans: Vec<Span>,
+}
+
+impl Trace {
+    pub(crate) fn record(
+        &mut self,
+        proc: ProcId,
+        thread: ThreadId,
+        start: VirtTime,
+        end: VirtTime,
+        kind: SpanKind,
+    ) {
+        self.spans.push(Span {
+            proc,
+            thread: thread.0,
+            start,
+            end,
+            kind,
+        });
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Per-processor busy time implied by the spans.
+    pub fn busy_per_proc(&self, processors: usize) -> Vec<VirtTime> {
+        let mut busy = vec![VirtTime::ZERO; processors];
+        for s in &self.spans {
+            if s.proc < processors {
+                busy[s.proc] += s.end.since(s.start);
+            }
+        }
+        busy
+    }
+
+    /// Serializes to the Chrome trace-event JSON array format (timestamps
+    /// in microseconds), loadable in `chrome://tracing` or Perfetto.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, s) in self.spans.iter().enumerate() {
+            let name = match s.kind {
+                SpanKind::Run => format!("t{}", s.thread),
+                SpanKind::Dummy => format!("dummy t{}", s.thread),
+                SpanKind::Resume => format!("t{} (resume)", s.thread),
+            };
+            let ts = s.start.as_ns() as f64 / 1e3;
+            let dur = s.end.since(s.start).as_ns() as f64 / 1e3;
+            out.push_str(&format!(
+                "  {{\"name\": \"{name}\", \"ph\": \"X\", \"pid\": 0, \"tid\": {}, \
+                 \"ts\": {ts:.3}, \"dur\": {dur:.3}}}{}\n",
+                s.proc,
+                if i + 1 == self.spans.len() { "" } else { "," }
+            ));
+        }
+        out.push(']');
+        out
+    }
+
+    /// Sanity check: spans on the same processor must not overlap in
+    /// virtual time. Returns the first violating pair, if any.
+    pub fn find_overlap(&self) -> Option<(Span, Span)> {
+        let mut per_proc: std::collections::HashMap<ProcId, Vec<Span>> = Default::default();
+        for s in &self.spans {
+            per_proc.entry(s.proc).or_default().push(*s);
+        }
+        for spans in per_proc.values_mut() {
+            spans.sort_by_key(|s| s.start);
+            for w in spans.windows(2) {
+                if w[1].start < w[0].end {
+                    return Some((w[0], w[1]));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{run, scope, Config, SchedKind};
+
+    #[test]
+    fn trace_records_all_dispatches_without_overlap() {
+        let cfg = Config::new(4, SchedKind::Df).with_trace();
+        let (_, report) = run(cfg, || {
+            scope(|s| {
+                for i in 0..16 {
+                    s.spawn(move || crate::work(1000 * (i + 1)));
+                }
+            })
+        });
+        let trace = report.trace.as_ref().expect("trace enabled");
+        assert!(!trace.is_empty());
+        // Every dispatch produced a span.
+        let dispatches: u64 = report.stats.procs.iter().map(|p| p.dispatches).sum();
+        assert!(trace.len() as u64 >= dispatches);
+        assert!(
+            trace.find_overlap().is_none(),
+            "spans on one processor must not overlap"
+        );
+        // Busy time from the trace matches the stats' busy time closely.
+        let busy = trace.busy_per_proc(4);
+        for (b, p) in busy.iter().zip(&report.stats.procs) {
+            let stat_busy = p.breakdown.busy();
+            assert!(
+                b.as_ns() <= stat_busy.as_ns(),
+                "trace busy {} > stats busy {}",
+                b,
+                stat_busy
+            );
+        }
+    }
+
+    #[test]
+    fn chrome_json_is_well_formed() {
+        let cfg = Config::new(2, SchedKind::Fifo).with_trace();
+        let (_, report) = run(cfg, || {
+            let h = crate::spawn(|| crate::work(5000));
+            h.join();
+        });
+        let json = report.trace.unwrap().to_chrome_json();
+        assert!(json.starts_with('['));
+        assert!(json.ends_with(']'));
+        assert!(json.contains("\"ph\": \"X\""));
+        // Balanced braces.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count()
+        );
+    }
+
+    #[test]
+    fn trace_disabled_by_default() {
+        let (_, report) = run(Config::new(1, SchedKind::Df), || ());
+        assert!(report.trace.is_none());
+    }
+}

@@ -1,0 +1,215 @@
+//! The machine cost model.
+//!
+//! Parameters are calibrated to the paper's Figure 3 (Solaris 2.5 thread
+//! operation timings on a 167 MHz UltraSPARC) plus standard numbers for that
+//! machine's memory system. Absolute values only anchor the scale; the
+//! reproduction claims *shapes* (relative scheduler behaviour), which are
+//! driven by the mechanisms, not the exact constants. Every constant can be
+//! overridden, and the `ablate_quota` / sensitivity benches sweep the ones
+//! that matter.
+
+use crate::VirtTime;
+
+/// Which stack-allocation path a thread creation took (for stats/costing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackClass {
+    /// Reused a cached default-size stack (cheap).
+    Cached,
+    /// Freshly reserved a stack (expensive; cost scales with size).
+    Fresh,
+}
+
+/// Parameters of the per-processor cache/locality model.
+#[derive(Debug, Clone)]
+pub struct CacheParams {
+    /// Modelled per-processor cache capacity in bytes (UltraSPARC: 512 KB L2).
+    pub capacity_bytes: u64,
+    /// Cost per byte brought in on a miss (memory bandwidth model).
+    pub miss_ns_per_byte: f64,
+    /// Fixed per-miss latency (line fill startup).
+    pub miss_latency_ns: u64,
+}
+
+impl Default for CacheParams {
+    fn default() -> Self {
+        CacheParams {
+            capacity_bytes: 512 * 1024,
+            miss_ns_per_byte: 4.0,
+            miss_latency_ns: 240,
+        }
+    }
+}
+
+/// Full cost model for the virtual SMP.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Nanoseconds per modelled CPU cycle (167 MHz → 6 ns).
+    pub cycle_ns: f64,
+    /// `pthread_create` of an unbound thread with a preallocated stack
+    /// (paper Fig. 3: 20.5 µs).
+    pub thread_create: VirtTime,
+    /// Joining a thread that has already exited (cheap, user-level).
+    pub join_exited: VirtTime,
+    /// One user-level context switch (suspend + dispatch register state).
+    pub ctx_switch: VirtTime,
+    /// Uncontended lock/unlock or semaphore op without blocking.
+    pub sync_op: VirtTime,
+    /// Scheduler-queue critical section (enqueue/dequeue under the global
+    /// scheduler lock). Contention on this lock is modelled by
+    /// [`crate::VirtualLock`].
+    pub sched_cs: VirtTime,
+    /// Fresh stack reservation for the smallest (8 KB) stack
+    /// (paper Fig. 3 note: 200 µs).
+    pub stack_fresh_base: VirtTime,
+    /// Additional fresh-reservation cost for a 1 MB stack over an 8 KB one
+    /// (paper: 260 µs at 1 MB ⇒ 60 µs extra), interpolated linearly.
+    pub stack_fresh_per_mb_extra: VirtTime,
+    /// Reusing a cached default-size stack.
+    pub stack_cached: VirtTime,
+    /// Base cost of `malloc` (free-list hit, no kernel involvement).
+    pub malloc_base: VirtTime,
+    /// Base cost of `free`.
+    pub free_base: VirtTime,
+    /// First-touch cost per fresh 8 KB page when the heap grows past its
+    /// previous high-water mark (sbrk/mmap + soft fault). This is the
+    /// dominant penalty behind the paper's Figure 6 kernel time.
+    pub page_first_touch: VirtTime,
+    /// Page size used by the commit accounting (Solaris/UltraSPARC: 8 KB).
+    pub page_bytes: u64,
+    /// Committed stack memory attributed to a thread that has started
+    /// running, capped by its requested stack size (lazy commit model; see
+    /// DESIGN.md). Solaris reserved 1 MB of VA but committed only touched
+    /// pages, which is why the paper's 4500-thread runs fit in 115 MB.
+    pub stack_touch_bytes: u64,
+    /// Cache/locality model parameters.
+    pub cache: CacheParams,
+}
+
+impl CostModel {
+    /// The calibration used throughout the reproduction: 167 MHz UltraSPARC
+    /// running Solaris 2.5, per the paper's Figure 3.
+    pub fn ultrasparc_167() -> Self {
+        CostModel {
+            cycle_ns: 6.0,
+            thread_create: VirtTime::from_ns(20_500),
+            join_exited: VirtTime::from_us(5),
+            ctx_switch: VirtTime::from_us(10),
+            sync_op: VirtTime::from_ns(2_000),
+            sched_cs: VirtTime::from_ns(1_500),
+            stack_fresh_base: VirtTime::from_us(200),
+            stack_fresh_per_mb_extra: VirtTime::from_us(60),
+            stack_cached: VirtTime::from_us(3),
+            malloc_base: VirtTime::from_ns(3_000),
+            free_base: VirtTime::from_ns(2_000),
+            page_first_touch: VirtTime::from_us(25),
+            page_bytes: 8 * 1024,
+            stack_touch_bytes: 16 * 1024,
+            cache: CacheParams::default(),
+        }
+    }
+
+    /// A free model: every operation costs zero except explicit `charge`d
+    /// work. Useful in unit tests that assert scheduling order rather than
+    /// timing.
+    pub fn zero_overhead() -> Self {
+        CostModel {
+            cycle_ns: 1.0,
+            thread_create: VirtTime::ZERO,
+            join_exited: VirtTime::ZERO,
+            ctx_switch: VirtTime::ZERO,
+            sync_op: VirtTime::ZERO,
+            sched_cs: VirtTime::ZERO,
+            stack_fresh_base: VirtTime::ZERO,
+            stack_fresh_per_mb_extra: VirtTime::ZERO,
+            stack_cached: VirtTime::ZERO,
+            malloc_base: VirtTime::ZERO,
+            free_base: VirtTime::ZERO,
+            page_first_touch: VirtTime::ZERO,
+            page_bytes: 8 * 1024,
+            stack_touch_bytes: 16 * 1024,
+            cache: CacheParams {
+                capacity_bytes: u64::MAX,
+                miss_ns_per_byte: 0.0,
+                miss_latency_ns: 0,
+            },
+        }
+    }
+
+    /// Virtual duration of `cycles` cycles of straight-line compute.
+    pub fn cycles(&self, cycles: u64) -> VirtTime {
+        VirtTime::from_ns((cycles as f64 * self.cycle_ns) as u64)
+    }
+
+    /// Cost of a fresh stack reservation of `size` bytes (linear
+    /// interpolation of the paper's 200 µs @ 8 KB … 260 µs @ 1 MB).
+    pub fn stack_fresh(&self, size: u64) -> VirtTime {
+        let extra_frac = (size.saturating_sub(8 * 1024)) as f64 / (1024.0 * 1024.0 - 8.0 * 1024.0);
+        let extra_frac = extra_frac.clamp(0.0, 4.0); // allow >1MB, capped
+        let extra = (self.stack_fresh_per_mb_extra.as_ns() as f64 * extra_frac) as u64;
+        self.stack_fresh_base + VirtTime::from_ns(extra)
+    }
+
+    /// Cost of bringing `bytes` of fresh (never-touched) heap into the
+    /// committed footprint: one first-touch penalty per new page.
+    pub fn fresh_pages(&self, bytes: u64) -> VirtTime {
+        let pages = bytes.div_ceil(self.page_bytes);
+        VirtTime::from_ns(self.page_first_touch.as_ns() * pages)
+    }
+
+    /// Cost of a cache miss pulling `bytes` of a region in.
+    pub fn cache_miss(&self, bytes: u64) -> VirtTime {
+        VirtTime::from_ns(
+            self.cache.miss_latency_ns + (bytes as f64 * self.cache.miss_ns_per_byte) as u64,
+        )
+    }
+
+    /// Committed bytes accounted for the stack of a thread, given its
+    /// requested (reserved) size and whether it has started running.
+    pub fn stack_commit(&self, reserved: u64, has_run: bool) -> u64 {
+        if has_run {
+            reserved.min(self.stack_touch_bytes)
+        } else {
+            reserved.min(self.page_bytes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_fresh_interpolates() {
+        let c = CostModel::ultrasparc_167();
+        assert_eq!(c.stack_fresh(8 * 1024), VirtTime::from_us(200));
+        let one_mb = c.stack_fresh(1024 * 1024);
+        assert!(one_mb >= VirtTime::from_us(259) && one_mb <= VirtTime::from_us(261));
+        // Monotone in size.
+        assert!(c.stack_fresh(64 * 1024) > c.stack_fresh(8 * 1024));
+        assert!(c.stack_fresh(64 * 1024) < one_mb);
+    }
+
+    #[test]
+    fn fresh_pages_rounds_up() {
+        let c = CostModel::ultrasparc_167();
+        assert_eq!(c.fresh_pages(1).as_ns(), 25_000);
+        assert_eq!(c.fresh_pages(8 * 1024).as_ns(), 25_000);
+        assert_eq!(c.fresh_pages(8 * 1024 + 1).as_ns(), 50_000);
+        assert_eq!(c.fresh_pages(0).as_ns(), 0);
+    }
+
+    #[test]
+    fn cycles_use_clock_rate() {
+        let c = CostModel::ultrasparc_167();
+        assert_eq!(c.cycles(1000).as_ns(), 6_000);
+    }
+
+    #[test]
+    fn stack_commit_lazy_model() {
+        let c = CostModel::ultrasparc_167();
+        assert_eq!(c.stack_commit(1024 * 1024, false), 8 * 1024);
+        assert_eq!(c.stack_commit(1024 * 1024, true), 16 * 1024);
+        assert_eq!(c.stack_commit(8 * 1024, true), 8 * 1024);
+        assert_eq!(c.stack_commit(4 * 1024, false), 4 * 1024);
+    }
+}

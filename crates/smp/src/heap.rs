@@ -1,0 +1,187 @@
+//! Committed-memory model: heap footprint tracking and the Solaris-style
+//! cache of default-size thread stacks.
+
+/// Tracks committed memory the way the paper measured it: the high-water
+/// mark of total heap allocation (the process footprint). Freed memory goes
+/// to a free pool that later allocations reuse without paying first-touch
+/// costs — the footprint never shrinks, as with a real `malloc` arena.
+#[derive(Debug, Clone, Default)]
+pub struct HeapModel {
+    live: u64,
+    free_pool: u64,
+    footprint: u64,
+    live_hwm: u64,
+    allocs: u64,
+    frees: u64,
+    fresh_bytes: u64,
+}
+
+impl HeapModel {
+    /// New empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates `bytes`; returns the number of *fresh* bytes (bytes that
+    /// grow the footprint and must pay first-touch costs).
+    pub fn alloc(&mut self, bytes: u64) -> u64 {
+        self.allocs += 1;
+        let reused = bytes.min(self.free_pool);
+        self.free_pool -= reused;
+        let fresh = bytes - reused;
+        self.fresh_bytes += fresh;
+        self.footprint += fresh;
+        self.live += bytes;
+        self.live_hwm = self.live_hwm.max(self.live);
+        fresh
+    }
+
+    /// Frees `bytes`, returning them to the reuse pool.
+    pub fn free(&mut self, bytes: u64) {
+        self.frees += 1;
+        debug_assert!(bytes <= self.live, "free of {} bytes with only {} live", bytes, self.live);
+        self.live = self.live.saturating_sub(bytes);
+        self.free_pool += bytes;
+    }
+
+    /// Currently live (non-freed) bytes.
+    pub fn live(&self) -> u64 {
+        self.live
+    }
+
+    /// High-water mark of live bytes.
+    pub fn live_hwm(&self) -> u64 {
+        self.live_hwm
+    }
+
+    /// Total committed footprint (live + reusable pool); never shrinks.
+    /// This is "the high water mark of total heap memory allocation"
+    /// reported in the paper's figures.
+    pub fn footprint(&self) -> u64 {
+        self.footprint
+    }
+
+    /// (allocs, frees, fresh bytes) counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.allocs, self.frees, self.fresh_bytes)
+    }
+}
+
+/// Cache of exited threads' stacks, as in the Solaris Pthreads library:
+/// "the library caches stacks of the default size for reuse" (paper §4.3).
+/// Cached stacks keep their committed bytes live in the [`HeapModel`], which
+/// is exactly why a 1 MB default stack size inflates the footprint of
+/// programs that churn threads.
+#[derive(Debug, Clone)]
+pub struct StackPool {
+    default_size: u64,
+    /// Committed bytes of each cached (exited) default-size stack.
+    cached: Vec<u64>,
+    cache_hits: u64,
+    fresh: u64,
+}
+
+impl StackPool {
+    /// A pool caching stacks of `default_size` reserved bytes.
+    pub fn new(default_size: u64) -> Self {
+        StackPool {
+            default_size,
+            cached: Vec::new(),
+            cache_hits: 0,
+            fresh: 0,
+        }
+    }
+
+    /// The default (cacheable) stack size.
+    pub fn default_size(&self) -> u64 {
+        self.default_size
+    }
+
+    /// Tries to acquire a stack of `reserved` bytes. Returns
+    /// `Some(committed)` when a cached stack is reused (its committed bytes
+    /// stay live), `None` when a fresh reservation is needed.
+    pub fn acquire(&mut self, reserved: u64) -> Option<u64> {
+        if reserved == self.default_size {
+            if let Some(committed) = self.cached.pop() {
+                self.cache_hits += 1;
+                return Some(committed);
+            }
+        }
+        self.fresh += 1;
+        None
+    }
+
+    /// Releases an exited thread's stack. Returns `true` when the stack was
+    /// cached (committed bytes stay live); `false` when the caller must free
+    /// its committed bytes.
+    pub fn release(&mut self, reserved: u64, committed: u64) -> bool {
+        if reserved == self.default_size {
+            self.cached.push(committed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of stacks currently cached.
+    pub fn cached_count(&self) -> usize {
+        self.cached.len()
+    }
+
+    /// Committed bytes held by the cache.
+    pub fn cached_bytes(&self) -> u64 {
+        self.cached.iter().sum()
+    }
+
+    /// (cache hits, fresh reservations).
+    pub fn counters(&self) -> (u64, u64) {
+        (self.cache_hits, self.fresh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprint_never_shrinks_and_pool_reuses() {
+        let mut h = HeapModel::new();
+        assert_eq!(h.alloc(100), 100);
+        assert_eq!(h.footprint(), 100);
+        h.free(100);
+        assert_eq!(h.live(), 0);
+        assert_eq!(h.footprint(), 100);
+        // Reuse: no fresh bytes.
+        assert_eq!(h.alloc(60), 0);
+        assert_eq!(h.footprint(), 100);
+        // Partially fresh.
+        assert_eq!(h.alloc(80), 40);
+        assert_eq!(h.footprint(), 140);
+        assert_eq!(h.live(), 140);
+    }
+
+    #[test]
+    fn live_hwm_tracks_peak() {
+        let mut h = HeapModel::new();
+        h.alloc(50);
+        h.alloc(70);
+        h.free(50);
+        h.alloc(10);
+        assert_eq!(h.live_hwm(), 120);
+        assert_eq!(h.live(), 80);
+    }
+
+    #[test]
+    fn stack_pool_caches_only_default_size() {
+        let mut p = StackPool::new(1024 * 1024);
+        assert!(p.acquire(1024 * 1024).is_none(), "cold cache");
+        assert!(p.release(1024 * 1024, 16 * 1024));
+        assert_eq!(p.cached_count(), 1);
+        assert_eq!(p.cached_bytes(), 16 * 1024);
+        assert_eq!(p.acquire(1024 * 1024), Some(16 * 1024));
+        assert_eq!(p.cached_count(), 0);
+        // Non-default sizes bypass the cache entirely.
+        assert!(p.acquire(8 * 1024).is_none());
+        assert!(!p.release(8 * 1024, 8 * 1024));
+    }
+}

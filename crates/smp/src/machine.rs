@@ -1,0 +1,382 @@
+//! The virtual machine: P processors with clocks plus the shared memory
+//! system, the stack pool, the locality caches and the scheduler lock.
+
+use crate::cache::CacheModel;
+use crate::cost::CostModel;
+use crate::heap::{HeapModel, StackPool};
+use crate::stats::{Bucket, MemStats, ProcStats, RunStats};
+use crate::time::VirtTime;
+use crate::vlock::VirtualLock;
+
+/// Index of a virtual processor.
+pub type ProcId = usize;
+
+#[derive(Debug, Clone, Default)]
+struct Proc {
+    clock: VirtTime,
+    stats: ProcStats,
+}
+
+/// A `p`-processor virtual SMP.
+///
+/// The threads runtime drives this object: it advances processor clocks via
+/// [`Machine::charge`], performs modelled memory operations, and reads the
+/// final statistics with [`Machine::finish`]. The `Machine` itself has no
+/// scheduling policy — that lives in the runtime.
+#[derive(Debug)]
+pub struct Machine {
+    procs: Vec<Proc>,
+    cost: CostModel,
+    heap: HeapModel,
+    stacks: StackPool,
+    caches: Vec<CacheModel>,
+    sched_lock: VirtualLock,
+    /// Serializes kernel-side memory operations (fresh page commits, fresh
+    /// stack reservations) across processors, modelling the VM-system
+    /// bottleneck behind the paper's Figure 6: processors of an
+    /// allocation-heavy schedule queue up in the kernel.
+    mem_lock: VirtualLock,
+    // thread accounting
+    live_threads: u64,
+    live_threads_hwm: u64,
+    threads_created: u64,
+    dummy_threads: u64,
+    prune_tick: u64,
+}
+
+impl Machine {
+    /// Creates a machine with `p` processors, the given cost model, and a
+    /// stack pool caching stacks of `default_stack` bytes.
+    pub fn new(p: usize, cost: CostModel, default_stack: u64) -> Self {
+        assert!(p >= 1, "need at least one processor");
+        Machine {
+            procs: vec![Proc::default(); p],
+            caches: (0..p)
+                .map(|_| CacheModel::new(cost.cache.capacity_bytes))
+                .collect(),
+            cost,
+            heap: HeapModel::new(),
+            stacks: StackPool::new(default_stack),
+            sched_lock: VirtualLock::new(),
+            mem_lock: VirtualLock::new(),
+            live_threads: 0,
+            live_threads_hwm: 0,
+            threads_created: 0,
+            dummy_threads: 0,
+            prune_tick: 0,
+        }
+    }
+
+    /// Number of processors.
+    pub fn processors(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// The cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Current clock of processor `p`.
+    pub fn clock(&self, p: ProcId) -> VirtTime {
+        self.procs[p].clock
+    }
+
+    /// Advances processor `p`'s clock by `dur`, accounted to `bucket`.
+    pub fn charge(&mut self, p: ProcId, bucket: Bucket, dur: VirtTime) {
+        self.procs[p].clock += dur;
+        self.procs[p].stats.breakdown.add(bucket, dur);
+    }
+
+    /// Advances processor `p`'s clock *to* `t` (idling if `t` is in the
+    /// future). No-op if `t` is in the past.
+    pub fn idle_until(&mut self, p: ProcId, t: VirtTime) {
+        let wait = t.since(self.procs[p].clock);
+        if wait > VirtTime::ZERO {
+            self.charge(p, Bucket::Idle, wait);
+        }
+    }
+
+    /// Records a dispatch (a thread starting a scheduling quantum) on `p`.
+    pub fn count_dispatch(&mut self, p: ProcId) {
+        self.procs[p].stats.dispatches += 1;
+    }
+
+    /// Acquires the global scheduler lock at `p`'s current clock, holding it
+    /// for one critical section; charges contention wait and CS time.
+    pub fn sched_lock(&mut self, p: ProcId) {
+        let now = self.procs[p].clock;
+        let (wait, release) = self.sched_lock.acquire(now, self.cost.sched_cs);
+        self.charge(p, Bucket::SchedWait, wait);
+        self.charge(p, Bucket::SchedCs, release.since(now + wait));
+        self.maybe_prune();
+    }
+
+    /// Bounds the virtual locks' interval memory: drop holds wholly before
+    /// the slowest processor's clock (no future acquirer can start earlier).
+    fn maybe_prune(&mut self) {
+        self.prune_tick += 1;
+        if self.prune_tick.is_multiple_of(4096) {
+            let watermark = self
+                .procs
+                .iter()
+                .map(|q| q.clock)
+                .min()
+                .unwrap_or(VirtTime::ZERO);
+            self.sched_lock.prune(watermark);
+            self.mem_lock.prune(watermark);
+        }
+    }
+
+    /// Charges a kernel-serialized memory operation of duration `hold` on
+    /// `p`: acquires the VM lock (contention wait + hold both accounted to
+    /// the memory system).
+    fn kernel_mem_op(&mut self, p: ProcId, hold: VirtTime) {
+        let now = self.procs[p].clock;
+        let (wait, release) = self.mem_lock.acquire(now, hold);
+        self.charge(p, Bucket::MemSys, wait + release.since(now + wait));
+        self.maybe_prune();
+    }
+
+    /// Models an application heap allocation of `bytes` on processor `p`:
+    /// updates footprint tracking and charges malloc + first-touch costs.
+    /// Fresh pages go through the kernel VM lock and therefore serialize
+    /// across processors.
+    pub fn alloc(&mut self, p: ProcId, bytes: u64) {
+        let fresh = self.heap.alloc(bytes);
+        self.charge(p, Bucket::MemSys, self.cost.malloc_base);
+        if fresh > 0 {
+            let hold = self.cost.fresh_pages(fresh);
+            self.kernel_mem_op(p, hold);
+        }
+    }
+
+    /// Models freeing `bytes` on processor `p`.
+    pub fn free(&mut self, p: ProcId, bytes: u64) {
+        self.heap.free(bytes);
+        let cost = self.cost.free_base;
+        self.charge(p, Bucket::MemSys, cost);
+    }
+
+    /// Models thread creation bookkeeping on `p` (thread-create overhead and
+    /// stack acquisition) for a thread with `reserved` stack bytes. Returns
+    /// the committed stack bytes attributed to the new thread.
+    pub fn thread_create(&mut self, p: ProcId, reserved: u64) -> u64 {
+        self.threads_created += 1;
+        self.live_threads += 1;
+        self.live_threads_hwm = self.live_threads_hwm.max(self.live_threads);
+        self.charge(p, Bucket::ThreadOp, self.cost.thread_create);
+        match self.stacks.acquire(reserved) {
+            Some(committed) => {
+                // Cached stack: its committed bytes are already live.
+                self.charge(p, Bucket::MemSys, self.cost.stack_cached);
+                committed
+            }
+            None => {
+                let committed = self.cost.stack_commit(reserved, false);
+                let fresh = self.heap.alloc(committed);
+                let hold = self.cost.stack_fresh(reserved) + self.cost.fresh_pages(fresh);
+                self.kernel_mem_op(p, hold);
+                committed
+            }
+        }
+    }
+
+    /// Models the lazy stack commit when a thread first runs: grows its
+    /// committed stack from `committed` to the touch estimate. Returns the
+    /// new committed size.
+    pub fn thread_first_run(&mut self, p: ProcId, reserved: u64, committed: u64) -> u64 {
+        let target = self.cost.stack_commit(reserved, true);
+        if target > committed {
+            let fresh = self.heap.alloc(target - committed);
+            if fresh > 0 {
+                let hold = self.cost.fresh_pages(fresh);
+                self.kernel_mem_op(p, hold);
+            }
+            target
+        } else {
+            committed
+        }
+    }
+
+    /// Models thread exit on `p`: the stack is either cached (bytes stay
+    /// live) or freed.
+    pub fn thread_exit(&mut self, p: ProcId, reserved: u64, committed: u64) {
+        debug_assert!(self.live_threads > 0);
+        self.live_threads -= 1;
+        if !self.stacks.release(reserved, committed) {
+            self.heap.free(committed);
+            let cost = self.cost.free_base;
+            self.charge(p, Bucket::MemSys, cost);
+        }
+    }
+
+    /// Counts a dummy (no-op) thread inserted by the allocation hook.
+    pub fn count_dummy(&mut self) {
+        self.dummy_threads += 1;
+    }
+
+    /// Number of currently live threads.
+    pub fn live_threads(&self) -> u64 {
+        self.live_threads
+    }
+
+    /// Models a locality touch of `bytes` in `region` by processor `p`.
+    pub fn touch(&mut self, p: ProcId, region: u64, bytes: u64) {
+        let missed = self.caches[p].touch(region, bytes);
+        if missed > 0 {
+            let cost = self.cost.cache_miss(missed);
+            self.charge(p, Bucket::CacheMiss, cost);
+        }
+    }
+
+    /// Charges a thread-operation cost (context switch, join, ...).
+    pub fn thread_op(&mut self, p: ProcId, dur: VirtTime) {
+        self.charge(p, Bucket::ThreadOp, dur);
+    }
+
+    /// Charges a synchronization-primitive cost.
+    pub fn sync_op(&mut self, p: ProcId, dur: VirtTime) {
+        self.charge(p, Bucket::Sync, dur);
+    }
+
+    /// Charges application compute of `cycles` cycles on `p`.
+    pub fn compute(&mut self, p: ProcId, cycles: u64) {
+        let dur = self.cost.cycles(cycles);
+        self.charge(p, Bucket::Compute, dur);
+    }
+
+    /// Current committed footprint (bytes).
+    pub fn footprint(&self) -> u64 {
+        self.heap.footprint()
+    }
+
+    /// Current live bytes.
+    pub fn live_bytes(&self) -> u64 {
+        self.heap.live()
+    }
+
+    /// Finalizes the run: aligns all processor clocks to the makespan and
+    /// returns the collected statistics.
+    pub fn finish(mut self) -> RunStats {
+        let makespan = self
+            .procs
+            .iter()
+            .map(|p| p.clock)
+            .max()
+            .unwrap_or(VirtTime::ZERO);
+        for i in 0..self.procs.len() {
+            self.idle_until(i, makespan);
+        }
+        let (allocs, frees, fresh_bytes) = self.heap.counters();
+        let (stack_cache_hits, stack_fresh) = self.stacks.counters();
+        let (mut cache_hits, mut cache_misses) = (0, 0);
+        for c in &self.caches {
+            let (h, m, _) = c.counters();
+            cache_hits += h;
+            cache_misses += m;
+        }
+        let (lock_acq, lock_wait, _) = self.sched_lock.counters();
+        RunStats {
+            makespan,
+            processors: self.procs.len(),
+            procs: self.procs.into_iter().map(|p| p.stats).collect(),
+            mem: MemStats {
+                footprint_hwm: self.heap.footprint(),
+                live_hwm: self.heap.live_hwm(),
+                live_end: self.heap.live(),
+                live_threads_hwm: self.live_threads_hwm,
+                threads_created: self.threads_created,
+                dummy_threads: self.dummy_threads,
+                allocs,
+                frees,
+                fresh_bytes,
+                stack_cache_hits,
+                stack_fresh,
+                cache_hits,
+                cache_misses,
+            },
+            sched_lock_acquisitions: lock_acq,
+            sched_lock_wait: lock_wait,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(p: usize) -> Machine {
+        Machine::new(p, CostModel::ultrasparc_167(), 1024 * 1024)
+    }
+
+    #[test]
+    fn charge_and_makespan() {
+        let mut m = machine(2);
+        m.compute(0, 1000); // 6 µs
+        m.compute(1, 500); // 3 µs
+        let stats = m.finish();
+        assert_eq!(stats.makespan, VirtTime::from_us(6));
+        assert_eq!(stats.procs[1].breakdown.idle, VirtTime::from_us(3));
+    }
+
+    #[test]
+    fn alloc_free_reuse_costs() {
+        let mut m = machine(1);
+        m.alloc(0, 16 * 1024); // 2 fresh pages
+        let after_first = m.clock(0);
+        m.free(0, 16 * 1024);
+        let before_second = m.clock(0);
+        m.alloc(0, 16 * 1024); // fully reused: only malloc_base
+        let second_cost = m.clock(0).since(before_second);
+        assert_eq!(second_cost, VirtTime::from_ns(3_000));
+        assert!(after_first > VirtTime::from_ns(3_000 + 2 * 25_000 - 1));
+        assert_eq!(m.footprint(), 16 * 1024);
+    }
+
+    #[test]
+    fn thread_lifecycle_accounting() {
+        let mut m = machine(1);
+        let c = m.thread_create(0, 1024 * 1024);
+        assert_eq!(c, 8 * 1024, "lazy commit: one page at create");
+        assert_eq!(m.live_threads(), 1);
+        let c = m.thread_first_run(0, 1024 * 1024, c);
+        assert_eq!(c, 16 * 1024);
+        m.thread_exit(0, 1024 * 1024, c);
+        assert_eq!(m.live_threads(), 0);
+        // Default-size stack was cached: bytes stay live.
+        assert_eq!(m.live_bytes(), 16 * 1024);
+        // Second thread reuses the cached stack: no fresh bytes.
+        let fp = m.footprint();
+        let c2 = m.thread_create(0, 1024 * 1024);
+        assert_eq!(c2, 16 * 1024);
+        assert_eq!(m.footprint(), fp);
+        let stats = m.finish();
+        assert_eq!(stats.mem.threads_created, 2);
+        assert_eq!(stats.mem.live_threads_hwm, 1);
+        assert_eq!(stats.mem.stack_cache_hits, 1);
+    }
+
+    #[test]
+    fn sched_lock_serializes_processors() {
+        let mut m = machine(2);
+        m.sched_lock(0); // holds [0, 1500)
+        m.sched_lock(1); // arrives at 0, waits 1500
+        assert_eq!(m.clock(1), VirtTime::from_ns(3_000));
+        let stats = m.finish();
+        assert_eq!(stats.sched_lock_acquisitions, 2);
+        assert_eq!(stats.sched_lock_wait, VirtTime::from_ns(1_500));
+    }
+
+    #[test]
+    fn touch_locality() {
+        let mut m = machine(2);
+        m.touch(0, 7, 1000);
+        let t_after_miss = m.clock(0);
+        m.touch(0, 7, 1000); // hit: free
+        assert_eq!(m.clock(0), t_after_miss);
+        // Other processor has its own cache: misses again.
+        m.touch(1, 7, 1000);
+        assert_eq!(m.clock(1), t_after_miss);
+    }
+}

@@ -1,0 +1,199 @@
+//! Execution statistics: per-processor time breakdowns and memory metrics.
+
+use crate::VirtTime;
+
+/// Where a processor's virtual time went. This is the data behind the
+/// reproduction of the paper's Figure 6 (execution time breakdown).
+#[derive(Debug, Clone, Copy, Default, serde::Serialize)]
+pub struct TimeBreakdown {
+    /// Useful application work (explicitly charged cycles).
+    pub compute: VirtTime,
+    /// Memory-system time: malloc/free base costs, first-touch page costs,
+    /// stack reservation costs. Maps to the paper's "system calls related to
+    /// memory allocation".
+    pub memsys: VirtTime,
+    /// Thread operations: create, join, context switches.
+    pub threadop: VirtTime,
+    /// Waiting for the scheduler lock (contention).
+    pub sched_wait: VirtTime,
+    /// Inside scheduler critical sections.
+    pub sched_cs: VirtTime,
+    /// Cache-miss stalls from the locality model.
+    pub cache_miss: VirtTime,
+    /// Synchronization operations (mutex/semaphore/condvar).
+    pub sync: VirtTime,
+    /// Idle: no ready thread available.
+    pub idle: VirtTime,
+}
+
+impl TimeBreakdown {
+    /// Total accounted time.
+    pub fn total(&self) -> VirtTime {
+        self.compute
+            + self.memsys
+            + self.threadop
+            + self.sched_wait
+            + self.sched_cs
+            + self.cache_miss
+            + self.sync
+            + self.idle
+    }
+
+    /// Busy (non-idle) time.
+    pub fn busy(&self) -> VirtTime {
+        self.total() - self.idle
+    }
+
+    /// Element-wise sum, for aggregating processors.
+    pub fn merge(&self, other: &TimeBreakdown) -> TimeBreakdown {
+        TimeBreakdown {
+            compute: self.compute + other.compute,
+            memsys: self.memsys + other.memsys,
+            threadop: self.threadop + other.threadop,
+            sched_wait: self.sched_wait + other.sched_wait,
+            sched_cs: self.sched_cs + other.sched_cs,
+            cache_miss: self.cache_miss + other.cache_miss,
+            sync: self.sync + other.sync,
+            idle: self.idle + other.idle,
+        }
+    }
+}
+
+/// Accounting bucket selector for [`TimeBreakdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bucket {
+    /// Application compute.
+    Compute,
+    /// Memory system (alloc/free/pages/stacks).
+    MemSys,
+    /// Thread operations.
+    ThreadOp,
+    /// Scheduler lock contention wait.
+    SchedWait,
+    /// Scheduler critical section.
+    SchedCs,
+    /// Cache miss stall.
+    CacheMiss,
+    /// Synchronization primitive operation.
+    Sync,
+    /// Idle.
+    Idle,
+}
+
+impl TimeBreakdown {
+    /// Adds `dur` to the selected bucket.
+    pub fn add(&mut self, bucket: Bucket, dur: VirtTime) {
+        let slot = match bucket {
+            Bucket::Compute => &mut self.compute,
+            Bucket::MemSys => &mut self.memsys,
+            Bucket::ThreadOp => &mut self.threadop,
+            Bucket::SchedWait => &mut self.sched_wait,
+            Bucket::SchedCs => &mut self.sched_cs,
+            Bucket::CacheMiss => &mut self.cache_miss,
+            Bucket::Sync => &mut self.sync,
+            Bucket::Idle => &mut self.idle,
+        };
+        *slot += dur;
+    }
+}
+
+/// Per-processor statistics.
+#[derive(Debug, Clone, Default, serde::Serialize)]
+pub struct ProcStats {
+    /// Time breakdown for this processor.
+    pub breakdown: TimeBreakdown,
+    /// Threads dispatched onto this processor.
+    pub dispatches: u64,
+}
+
+/// Memory metrics for a run (the paper's space figures).
+#[derive(Debug, Clone, Copy, Default, serde::Serialize)]
+pub struct MemStats {
+    /// High-water committed footprint in bytes (heap data + stacks), the
+    /// quantity plotted in Figures 5b/7b/9.
+    pub footprint_hwm: u64,
+    /// High-water of *live* bytes.
+    pub live_hwm: u64,
+    /// Live bytes at end of run.
+    pub live_end: u64,
+    /// Peak simultaneously-active (created, not yet exited) threads —
+    /// the "Threads" column of Figure 8.
+    pub live_threads_hwm: u64,
+    /// Total threads created over the run.
+    pub threads_created: u64,
+    /// Dummy (no-op) threads inserted by the space-efficient allocator hook.
+    pub dummy_threads: u64,
+    /// malloc calls.
+    pub allocs: u64,
+    /// free calls.
+    pub frees: u64,
+    /// Bytes that required fresh page commitment.
+    pub fresh_bytes: u64,
+    /// Stack-cache hits.
+    pub stack_cache_hits: u64,
+    /// Fresh stack reservations.
+    pub stack_fresh: u64,
+    /// Cache-model hits across processors.
+    pub cache_hits: u64,
+    /// Cache-model misses across processors.
+    pub cache_misses: u64,
+}
+
+/// Complete result of one virtual-SMP run.
+#[derive(Debug, Clone, Default, serde::Serialize)]
+pub struct RunStats {
+    /// Virtual makespan: the maximum processor clock at termination.
+    pub makespan: VirtTime,
+    /// Number of virtual processors.
+    pub processors: usize,
+    /// Per-processor stats.
+    pub procs: Vec<ProcStats>,
+    /// Memory metrics.
+    pub mem: MemStats,
+    /// Scheduler lock: (acquisitions, total wait, total held).
+    pub sched_lock_acquisitions: u64,
+    /// Total time all processors spent waiting on the scheduler lock.
+    pub sched_lock_wait: VirtTime,
+}
+
+impl RunStats {
+    /// Aggregated breakdown across processors.
+    pub fn total_breakdown(&self) -> TimeBreakdown {
+        self.procs
+            .iter()
+            .fold(TimeBreakdown::default(), |acc, p| acc.merge(&p.breakdown))
+    }
+
+    /// Speedup relative to a serial makespan.
+    pub fn speedup_vs(&self, serial: VirtTime) -> f64 {
+        serial.as_ns() as f64 / self.makespan.as_ns().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_total_and_merge() {
+        let mut a = TimeBreakdown::default();
+        a.add(Bucket::Compute, VirtTime::from_ns(10));
+        a.add(Bucket::Idle, VirtTime::from_ns(5));
+        let mut b = TimeBreakdown::default();
+        b.add(Bucket::Compute, VirtTime::from_ns(7));
+        b.add(Bucket::MemSys, VirtTime::from_ns(3));
+        let m = a.merge(&b);
+        assert_eq!(m.compute, VirtTime::from_ns(17));
+        assert_eq!(m.total(), VirtTime::from_ns(25));
+        assert_eq!(m.busy(), VirtTime::from_ns(20));
+    }
+
+    #[test]
+    fn speedup_math() {
+        let stats = RunStats {
+            makespan: VirtTime::from_ms(10),
+            ..Default::default()
+        };
+        assert!((stats.speedup_vs(VirtTime::from_ms(80)) - 8.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests of the machine-model primitives against reference
+//! implementations.
+
+use proptest::prelude::*;
+use ptdf_smp::{CacheModel, HeapModel, VirtTime, VirtualLock};
+
+proptest! {
+    /// Granted critical sections never overlap, never start before the
+    /// acquirer arrives, and the counters add up.
+    #[test]
+    fn vlock_grants_are_disjoint(ops in proptest::collection::vec((0u64..10_000, 1u64..200), 1..200)) {
+        let mut lock = VirtualLock::new();
+        let mut grants: Vec<(u64, u64)> = Vec::new();
+        let mut total_wait = 0u64;
+        for (now, hold) in ops {
+            let (wait, release) = lock.acquire(VirtTime::from_ns(now), VirtTime::from_ns(hold));
+            let start = release.as_ns() - hold;
+            prop_assert!(start >= now, "granted before arrival");
+            prop_assert_eq!(wait.as_ns(), start - now);
+            for &(s, e) in &grants {
+                prop_assert!(release.as_ns() <= s || start >= e,
+                    "overlap: [{start},{}) vs [{s},{e})", release.as_ns());
+            }
+            grants.push((start, release.as_ns()));
+            total_wait += wait.as_ns();
+        }
+        let (acq, wait, _) = lock.counters();
+        prop_assert_eq!(acq as usize, grants.len());
+        prop_assert_eq!(wait.as_ns(), total_wait);
+    }
+
+    /// Pruning below the minimum future arrival time never changes grants.
+    #[test]
+    fn vlock_prune_is_transparent(
+        ops in proptest::collection::vec((0u64..5_000, 1u64..100), 1..100),
+        later in proptest::collection::vec((5_000u64..10_000, 1u64..100), 1..50),
+    ) {
+        let mut a = VirtualLock::new();
+        let mut b = VirtualLock::new();
+        for &(now, hold) in &ops {
+            a.acquire(VirtTime::from_ns(now), VirtTime::from_ns(hold));
+            b.acquire(VirtTime::from_ns(now), VirtTime::from_ns(hold));
+        }
+        a.prune(VirtTime::from_ns(0)); // no-op prune
+        for &(now, hold) in &later {
+            let ra = a.acquire(VirtTime::from_ns(now), VirtTime::from_ns(hold));
+            let rb = b.acquire(VirtTime::from_ns(now), VirtTime::from_ns(hold));
+            prop_assert_eq!(ra, rb);
+        }
+    }
+
+    /// HeapModel bookkeeping against a straightforward reference.
+    #[test]
+    fn heap_model_matches_reference(ops in proptest::collection::vec(1u64..5_000, 1..200)) {
+        let mut h = HeapModel::new();
+        let mut live_ref = 0u64;
+        let mut pool_ref = 0u64;
+        let mut footprint_ref = 0u64;
+        let mut outstanding: Vec<u64> = Vec::new();
+        for (i, &bytes) in ops.iter().enumerate() {
+            if i % 3 == 2 && !outstanding.is_empty() {
+                let b = outstanding.pop().unwrap();
+                h.free(b);
+                live_ref -= b;
+                pool_ref += b;
+            } else {
+                let fresh = h.alloc(bytes);
+                let reused = bytes.min(pool_ref);
+                prop_assert_eq!(fresh, bytes - reused);
+                pool_ref -= reused;
+                footprint_ref += bytes - reused;
+                live_ref += bytes;
+                outstanding.push(bytes);
+            }
+            prop_assert_eq!(h.live(), live_ref);
+            prop_assert_eq!(h.footprint(), footprint_ref);
+            prop_assert!(h.footprint() >= h.live());
+        }
+    }
+
+    /// CacheModel agrees with a naive reference LRU.
+    #[test]
+    fn cache_model_matches_reference_lru(
+        touches in proptest::collection::vec((0u64..30, 1u64..300), 1..300)
+    ) {
+        let capacity = 1000u64;
+        let mut cache = CacheModel::new(capacity);
+        // Reference: vector of (region, bytes), most recent at the back.
+        let mut lru: Vec<(u64, u64)> = Vec::new();
+        for (region, bytes) in touches {
+            let missed = cache.touch(region, bytes);
+            // Reference behaviour.
+            let expected = if bytes > capacity {
+                lru.retain(|&(r, _)| r != region);
+                bytes
+            } else if let Some(pos) = lru.iter().position(|&(r, _)| r == region) {
+                let (_, old) = lru.remove(pos);
+                let grow = bytes.saturating_sub(old);
+                lru.push((region, bytes.max(old)));
+                grow
+            } else {
+                lru.push((region, bytes));
+                bytes
+            };
+            // Evict from the reference LRU.
+            let mut total: u64 = lru.iter().map(|&(_, b)| b).sum();
+            while total > capacity {
+                let (_, b) = lru.remove(0);
+                total -= b;
+            }
+            prop_assert_eq!(missed, expected, "region {} bytes {}", region, bytes);
+            prop_assert!(cache.resident_bytes() <= capacity);
+            prop_assert_eq!(cache.resident_bytes(), total.min(capacity));
+        }
+    }
+}

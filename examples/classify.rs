@@ -1,0 +1,52 @@
+//! Decision-tree classifier: generate the synthetic dataset, build the tree
+//! in parallel (a thread per recursive call, plus parallel quicksorts), and
+//! evaluate training accuracy.
+//!
+//! Run with: `cargo run --release --example classify [instances]`
+
+use ptdf::{run, Config, SchedKind};
+use ptdf_apps::dtree::{self, Params};
+
+fn main() {
+    let instances: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(30_000);
+    let prm = Params {
+        instances,
+        ..Params::small()
+    };
+    println!(
+        "generating {instances} instances x {} attributes ...",
+        prm.attrs
+    );
+    let ds = dtree::gen_dataset(&prm);
+
+    let (tree, report) = run(Config::new(8, SchedKind::Df), {
+        let ds = ds.clone();
+        move || dtree::build(&ds, &prm)
+    });
+    println!(
+        "built tree: {} nodes, depth {}, in virtual {}",
+        tree.size(),
+        tree.depth(),
+        report.makespan()
+    );
+    println!(
+        "threads: {} created, peak {} live; peak memory {:.2} MB",
+        report.total_threads,
+        report.max_live_threads(),
+        report.footprint() as f64 / (1024.0 * 1024.0)
+    );
+    let acc = dtree::accuracy(&tree, &ds);
+    println!("training accuracy: {:.1}%", acc * 100.0);
+    // Classify a few examples.
+    for i in [0usize, 1, 2] {
+        let row = &ds.x[i * ds.attrs..(i + 1) * ds.attrs];
+        println!(
+            "instance {i}: attrs {row:.2?} → predicted {}, actual {}",
+            tree.classify(row),
+            ds.y[i]
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Barnes-Hut N-body simulation, end to end: sample a Plummer sphere,
+//! simulate a few timesteps with one thread per octree subtree, and report
+//! physics sanity plus scheduler statistics.
+//!
+//! Run with: `cargo run --release --example nbody [n_bodies]`
+
+use ptdf::{run, run_serial, Config, CostModel, SchedKind};
+use ptdf_apps::barnes_hut::{self, Params};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8_000);
+    let prm = Params {
+        n_bodies: n,
+        timesteps: 3,
+        ..Params::small()
+    };
+    println!("sampling {n} bodies from the Plummer model ...");
+    let bodies = barnes_hut::plummer(n, 42);
+
+    let (_, serial) = run_serial(CostModel::ultrasparc_167(), {
+        let mut b = bodies.clone();
+        move || barnes_hut::run_fine(&mut b, &prm)
+    });
+    println!("serial: {}", serial.time);
+
+    let (final_bodies, report) = run(Config::new(8, SchedKind::Df), {
+        let mut b = bodies.clone();
+        move || {
+            barnes_hut::run_fine(&mut b, &prm);
+            b
+        }
+    });
+    let momentum: [f64; 3] = final_bodies.iter().fold([0.0; 3], |acc, b| {
+        [
+            acc[0] + b.mass * b.vel[0],
+            acc[1] + b.mass * b.vel[1],
+            acc[2] + b.mass * b.vel[2],
+        ]
+    });
+    println!(
+        "parallel (8 procs, df): {} — speedup {:.2}x",
+        report.makespan(),
+        report.speedup_vs(serial.time)
+    );
+    println!(
+        "threads: {} created, peak {} live; memory peak {:.2} MB",
+        report.total_threads,
+        report.max_live_threads(),
+        report.footprint() as f64 / (1024.0 * 1024.0)
+    );
+    println!(
+        "total momentum after {} steps: [{:+.2e} {:+.2e} {:+.2e}] (≈0 expected)",
+        prm.timesteps, momentum[0], momentum[1], momentum[2]
+    );
+}

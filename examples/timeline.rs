@@ -1,0 +1,40 @@
+//! Execution-trace visualization: run the divide-and-conquer matmul under
+//! two schedulers with tracing enabled and write Chrome-trace JSON files
+//! (open in `chrome://tracing` or https://ui.perfetto.dev) showing how each
+//! policy places threads on the virtual processors.
+//!
+//! Run with: `cargo run --release --example timeline`
+
+use ptdf::{Config, SchedKind};
+use ptdf_apps::matmul;
+
+fn main() {
+    let p = matmul::Params {
+        n: 256,
+        base: 64,
+        seed: 42,
+    };
+    let (a, b) = matmul::gen_input(&p);
+    for kind in [SchedKind::Fifo, SchedKind::Df] {
+        let (_, report) = ptdf::run(Config::new(4, kind).with_trace(), {
+            let (a, b) = (a.clone(), b.clone());
+            move || matmul::multiply(&a, &b, &p)
+        });
+        let trace = report.trace.as_ref().expect("tracing enabled");
+        let path = format!("trace_{}.json", report.scheduler);
+        std::fs::write(&path, trace.to_chrome_json()).expect("write trace");
+        println!(
+            "{:>5}: {} spans over {} — wrote {path}",
+            report.scheduler,
+            trace.len(),
+            report.makespan(),
+        );
+        // Quick ASCII utilization summary.
+        for (proc, busy) in trace.busy_per_proc(report.processors).iter().enumerate() {
+            let frac = busy.as_ns() as f64 / report.makespan().as_ns().max(1) as f64;
+            let bar = "#".repeat((frac * 40.0) as usize);
+            println!("        cpu{proc}: {bar:<40} {:.0}%", frac * 100.0);
+        }
+    }
+    println!("\nLoad either file in chrome://tracing or ui.perfetto.dev.");
+}

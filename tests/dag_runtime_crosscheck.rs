@@ -1,0 +1,203 @@
+//! Cross-validation of the abstract DAG simulator (`ptdf-dag`) against the
+//! real runtime (`ptdf`): the same fork-join program, lowered both ways,
+//! must show the same scheduler space behaviour.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use ptdf::{Config, CostModel, SchedKind};
+use ptdf_dag::{
+    gen_program, max_path_threads, serial_space, simulate, validate, Action, GenParams,
+    PolicyKind, Program,
+};
+
+/// Executes `Program` thread `t` on the real runtime (forks become spawns).
+fn exec_thread(p: Rc<Program>, t: usize) {
+    let mut handles: HashMap<usize, ptdf::JoinHandle<()>> = HashMap::new();
+    for a in p.threads[t].actions.clone() {
+        match a {
+            Action::Work(u) => ptdf::work(u * 10_000),
+            Action::Alloc(b) => ptdf::rt_alloc(b),
+            Action::Free(b) => ptdf::rt_free(b),
+            Action::Fork(c) => {
+                let p2 = p.clone();
+                handles.insert(c, ptdf::spawn(move || exec_thread(p2, c)));
+            }
+            Action::Join(c) => {
+                handles
+                    .remove(&c)
+                    .expect("join of un-forked child")
+                    .join();
+            }
+        }
+    }
+}
+
+/// Runs a program on the real runtime; returns its report.
+fn run_program(prog: &Program, kind: SchedKind, procs: usize) -> ptdf::Report {
+    let prog = Rc::new(prog.clone());
+    // Huge quota so DF dummy threads don't perturb the thread counts.
+    let cfg = Config::new(procs, kind).with_quota(u64::MAX / 4);
+    let (_, report) = ptdf::run(cfg, move || exec_thread(prog, 0));
+    report
+}
+
+fn programs() -> Vec<Program> {
+    (0..6)
+        .map(|seed| {
+            gen_program(GenParams {
+                seed,
+                max_threads: 60,
+                max_depth: 6,
+                max_work: 10,
+                max_alloc: 500,
+                fork_percent: 70,
+            })
+        })
+        .filter(|p| p.len() > 5)
+        .collect()
+}
+
+#[test]
+fn serial_df_live_threads_match_abstract_child_first() {
+    for (i, prog) in programs().iter().enumerate() {
+        validate(prog).unwrap();
+        let sim = simulate(prog, PolicyKind::ChildFirst, 1);
+        let real = run_program(prog, SchedKind::Df, 1);
+        assert_eq!(
+            real.max_live_threads(),
+            sim.max_live_threads as u64,
+            "program {i}: abstract and real DF disagree"
+        );
+    }
+}
+
+#[test]
+fn serial_fifo_live_threads_match_abstract_fifo() {
+    for (i, prog) in programs().iter().enumerate() {
+        let sim = simulate(prog, PolicyKind::FifoQueue, 1);
+        let real = run_program(prog, SchedKind::Fifo, 1);
+        assert_eq!(
+            real.max_live_threads(),
+            sim.max_live_threads as u64,
+            "program {i}: abstract and real FIFO disagree"
+        );
+    }
+}
+
+#[test]
+fn df_live_threads_bounded_by_p_times_depth() {
+    for (i, prog) in programs().iter().enumerate() {
+        let d = max_path_threads(prog) as u64;
+        for procs in [2u64, 4, 8] {
+            let real = run_program(prog, SchedKind::Df, procs as usize);
+            // The S1 + O(p·D) discipline keeps at most ~one depth-first
+            // path per processor alive (+1 slack for in-flight handoffs).
+            assert!(
+                real.max_live_threads() <= procs * d + procs,
+                "program {i}, p={procs}: {} live > p*d = {}",
+                real.max_live_threads(),
+                procs * d
+            );
+        }
+    }
+}
+
+#[test]
+fn fifo_space_never_below_df_space() {
+    for prog in &programs() {
+        if serial_space(prog) == 0 {
+            continue;
+        }
+        let fifo = run_program(prog, SchedKind::Fifo, 4);
+        let df = run_program(prog, SchedKind::Df, 4);
+        assert!(
+            fifo.footprint() >= df.footprint(),
+            "FIFO must not beat DF on footprint: {} vs {}",
+            fifo.footprint(),
+            df.footprint()
+        );
+        assert!(fifo.max_live_threads() >= df.max_live_threads());
+    }
+}
+
+#[test]
+fn all_schedulers_complete_all_programs() {
+    for prog in &programs() {
+        let total = prog.len();
+        for kind in [
+            SchedKind::Fifo,
+            SchedKind::Lifo,
+            SchedKind::Df,
+            SchedKind::DfLocal,
+            SchedKind::DfDeques,
+            SchedKind::Ws,
+        ] {
+            for procs in [1, 3, 8] {
+                let report = run_program(prog, kind, procs);
+                // Program thread 0 runs as the runtime's root thread, so the
+                // totals match exactly.
+                assert_eq!(report.total_threads, total, "{kind:?} p={procs}");
+            }
+        }
+    }
+}
+
+/// With a zero-overhead cost model, the runtime's virtual makespan must
+/// obey the greedy-scheduling (Brent) bounds computed by the abstract
+/// analyses: max(W/p, D) ≤ T_p ≤ W/p + D.
+#[test]
+fn makespan_obeys_brent_bounds_under_zero_overhead() {
+    use ptdf_dag::{critical_path, total_work};
+    for (i, prog) in programs().iter().enumerate() {
+        // exec_thread charges u * 10_000 cycles per Work(u); the
+        // zero-overhead model maps 1 cycle → 1 ns.
+        let w = total_work(prog) * 10_000;
+        let d = critical_path(prog) * 10_000;
+        if w == 0 {
+            continue;
+        }
+        for procs in [1u64, 2, 4, 8] {
+            for kind in [SchedKind::Df, SchedKind::Ws, SchedKind::Fifo] {
+                let prog_rc = Rc::new(prog.clone());
+                let cfg = Config::new(procs as usize, kind)
+                    .with_cost(CostModel::zero_overhead())
+                    .with_quota(u64::MAX / 4);
+                let (_, report) = ptdf::run(cfg, move || exec_thread(prog_rc, 0));
+                let t = report.makespan().as_ns();
+                let lower = (w / procs).max(d);
+                let upper = w / procs + d;
+                assert!(
+                    t >= lower,
+                    "program {i} {kind:?} p={procs}: T={t} < max(W/p, D)={lower}"
+                );
+                assert!(
+                    t <= upper,
+                    "program {i} {kind:?} p={procs}: T={t} > W/p + D={upper} (non-greedy)"
+                );
+                if procs == 1 {
+                    assert_eq!(t, w, "serial makespan must equal total work");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ws_space_bounded_by_p_times_serial_paths() {
+    // Busy-leaves style bound: work stealing (and the parallelized
+    // DFDeques scheduler) keeps at most ~p depth-first paths alive.
+    for prog in &programs() {
+        let d = max_path_threads(prog) as u64;
+        for procs in [2u64, 4] {
+            for kind in [SchedKind::Ws, SchedKind::DfDeques] {
+                let real = run_program(prog, kind, procs as usize);
+                assert!(
+                    real.max_live_threads() <= procs * d + procs,
+                    "{kind:?} p={procs}: {} live, d={d}",
+                    real.max_live_threads()
+                );
+            }
+        }
+    }
+}

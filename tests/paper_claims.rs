@@ -1,0 +1,203 @@
+//! Integration tests asserting the paper's qualitative claims end-to-end,
+//! at test-friendly scales. Each test names the paper section or figure it
+//! guards.
+
+use ptdf::{Config, SchedKind, STACK_1MB, STACK_8KB};
+use ptdf_apps::{fft, fmm, matmul, volren};
+
+fn matmul_report(kind: SchedKind, procs: usize, stack: u64) -> (ptdf::Report, ptdf::VirtTime) {
+    let p = matmul::Params {
+        n: 128,
+        base: 16,
+        seed: 1,
+    };
+    let (a, b) = matmul::gen_input(&p);
+    let (_, serial) = ptdf::run_serial(ptdf::CostModel::ultrasparc_167(), {
+        let (a, b) = (a.clone(), b.clone());
+        move || matmul::multiply(&a, &b, &p)
+    });
+    let cfg = Config::new(procs, kind).with_stack(stack);
+    let (_, report) = ptdf::run(cfg, move || matmul::multiply(&a, &b, &p));
+    (report, serial.time)
+}
+
+/// §3 / Figure 5: the native FIFO scheduler makes the fine-grained matmul
+/// allocate far more memory than the serial program and keeps a huge number
+/// of threads live.
+#[test]
+fn fig5_native_scheduler_explodes_space() {
+    let (fifo, _) = matmul_report(SchedKind::Fifo, 4, STACK_1MB);
+    let (df, _) = matmul_report(SchedKind::Df, 4, STACK_1MB);
+    assert!(
+        fifo.max_live_threads() > 10 * df.max_live_threads(),
+        "fifo {} vs df {}",
+        fifo.max_live_threads(),
+        df.max_live_threads()
+    );
+    assert!(fifo.footprint() > 2 * df.footprint());
+}
+
+/// §4 / Figure 7: scheduler ordering on both axes — DF beats FIFO on time
+/// and space; LIFO lies between them on space.
+#[test]
+fn fig7_scheduler_ordering() {
+    let (fifo, serial) = matmul_report(SchedKind::Fifo, 8, STACK_1MB);
+    let (lifo, _) = matmul_report(SchedKind::Lifo, 8, STACK_1MB);
+    let (df, _) = matmul_report(SchedKind::Df, 8, STACK_1MB);
+    let s = |r: &ptdf::Report| r.speedup_vs(serial);
+    assert!(
+        s(&df) > s(&fifo),
+        "df speedup {} must beat fifo {}",
+        s(&df),
+        s(&fifo)
+    );
+    assert!(df.footprint() < fifo.footprint());
+    assert!(lifo.footprint() < fifo.footprint());
+    assert!(lifo.max_live_threads() < fifo.max_live_threads());
+}
+
+/// §4 item 3: reducing the default stack size reduces the footprint of a
+/// thread-churning program under the original scheduler.
+#[test]
+fn small_stacks_reduce_footprint() {
+    let (big, _) = matmul_report(SchedKind::Fifo, 4, STACK_1MB);
+    let (small, _) = matmul_report(SchedKind::Fifo, 4, STACK_8KB);
+    assert!(
+        small.footprint() < big.footprint(),
+        "8KB stacks {} must beat 1MB stacks {}",
+        small.footprint(),
+        big.footprint()
+    );
+}
+
+/// Figure 10's mechanism: with p a power of two, p threads partition the
+/// DFT perfectly; with p = 6 the 256-thread version is better balanced.
+#[test]
+fn fig10_thread_count_vs_processors() {
+    let run_fft = |threads: usize, procs: usize, kind: SchedKind| {
+        let p = fft::Params {
+            log2n: 16,
+            threads,
+            seed: 2,
+        };
+        let x = fft::gen_input(&p);
+        let (_, r) = ptdf::run(Config::new(procs, kind), move || fft::fft(&x, &p));
+        r.makespan()
+    };
+    // p = 3 (not a power of two): 3 threads split the power-of-two problem
+    // as [n/2, n/4, n/4] — the n/2 leaf dominates the makespan. A larger
+    // thread pool lets the scheduler balance the load.
+    let three_p = run_fft(3, 3, SchedKind::Df);
+    let three_many = run_fft(24, 3, SchedKind::Df);
+    assert!(
+        three_many < three_p,
+        "24 threads ({three_many}) must beat 3 threads ({three_p}) on 3 procs"
+    );
+    // p = 4 (a power of two): p threads partition perfectly and win (or tie).
+    let four_p = run_fft(4, 4, SchedKind::Df);
+    let four_many = run_fft(24, 4, SchedKind::Df);
+    assert!(
+        four_p < four_many,
+        "4 threads ({four_p}) must beat 24 threads ({four_many}) on 4 procs"
+    );
+}
+
+/// §5.1.2 / Figure 9(a): the FMM's dynamically allocating M2L phase uses
+/// less memory under the space-efficient scheduler.
+#[test]
+fn fig9_fmm_memory_ordering() {
+    let p = fmm::Params {
+        n_particles: 800,
+        levels: 2,
+        terms: 4,
+        mpl_chunk: 5,
+        seed: 3,
+    };
+    let particles = fmm::gen_particles(&p);
+    let run_with = |kind| {
+        let particles = particles.clone();
+        let (_, r) = ptdf::run(Config::new(4, kind), move || fmm::run_fmm(&particles, &p));
+        r
+    };
+    let fifo = run_with(SchedKind::Fifo);
+    let df = run_with(SchedKind::Df);
+    assert!(
+        df.footprint() <= fifo.footprint(),
+        "df {} vs fifo {}",
+        df.footprint(),
+        fifo.footprint()
+    );
+    assert!(df.max_live_threads() < fifo.max_live_threads());
+}
+
+/// Figure 11's left edge: finer thread granularity costs locality — the
+/// cache-model miss count rises as tiles/thread shrinks.
+#[test]
+fn fig11_finer_grain_more_cache_misses() {
+    let base = volren::Params::small();
+    let vol = volren::gen_volume(base.size);
+    let misses = |tiles_per_thread: usize| {
+        let prm = volren::Params {
+            tiles_per_thread,
+            ..base
+        };
+        let vol = vol.clone();
+        let (_, r) = ptdf::run(Config::new(8, SchedKind::Fifo), move || {
+            volren::render_fine(&vol, &prm)
+        });
+        r.stats.mem.cache_misses
+    };
+    let fine = misses(2);
+    let coarse = misses(48);
+    assert!(
+        fine > coarse,
+        "fine grain must miss more: {fine} vs {coarse}"
+    );
+}
+
+/// §2.1: the DF scheduler supports blocking synchronization (mutexes,
+/// condition variables) that Cilk-style systems exclude — exercised here
+/// with a mutex-protected shared counter under heavy forking.
+#[test]
+fn blocking_sync_under_df() {
+    let (v, _) = ptdf::run(Config::new(4, SchedKind::Df), || {
+        let m = ptdf::Mutex::new(0u32);
+        ptdf::scope(|s| {
+            for _ in 0..50 {
+                let m = m.clone();
+                s.spawn(move || {
+                    let mut g = m.lock();
+                    ptdf::work(1000);
+                    *g += 1;
+                });
+            }
+        });
+        let v = *m.lock();
+        v
+    });
+    assert_eq!(v, 50);
+}
+
+/// Determinism: identical configurations produce bit-identical reports
+/// (the property every experiment harness relies on).
+#[test]
+fn experiments_are_reproducible() {
+    let go = || {
+        let p = matmul::Params {
+            n: 64,
+            base: 16,
+            seed: 9,
+        };
+        let (a, b) = matmul::gen_input(&p);
+        let (c, r) = ptdf::run(Config::new(5, SchedKind::Df), move || {
+            matmul::multiply(&a, &b, &p)
+        });
+        (c, r.makespan(), r.footprint(), r.stats.mem.cache_misses)
+    };
+    let (c1, t1, f1, m1) = go();
+    let (c2, t2, f2, m2) = go();
+    assert_eq!(c1, c2);
+    assert_eq!(t1, t2);
+    assert_eq!(f1, f2);
+    assert_eq!(m1, m2);
+}
