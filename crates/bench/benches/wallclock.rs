@@ -1,0 +1,61 @@
+//! Wall-clock scheduler benchmark: micro dispatch storms (indexed vs
+//! reference policies, 10k–1M live threads) plus matmul/FFT/dtree host
+//! runtimes under each scheduler. Writes `BENCH_sched.json` at the
+//! workspace root. `REPRO_QUICK=1` for the CI smoke configuration.
+
+use ptdf_bench::wallclock::{self, StormPoint};
+use ptdf_bench::Table;
+
+fn main() {
+    let micro = wallclock::run_micro();
+    let mut t = Table::new(
+        "wallclock_micro",
+        "Dispatch hot paths: host ns per dispatch attempt (indexed vs reference)",
+        &["storm", "live threads", "impl", "ops", "ns/dispatch"],
+    );
+    for StormPoint {
+        storm,
+        impl_name,
+        live_threads,
+        ops,
+        ns_per_dispatch,
+        ..
+    } in &micro
+    {
+        t.row(vec![
+            storm.to_string(),
+            live_threads.to_string(),
+            impl_name.to_string(),
+            ops.to_string(),
+            format!("{ns_per_dispatch:.1}"),
+        ]);
+    }
+    t.finish();
+
+    for (storm, n, x) in wallclock::speedups(&micro) {
+        println!("{storm} @ {n} live threads: indexed is {x:.0}x the reference");
+    }
+
+    let procs = if wallclock::quick() { 2 } else { 4 };
+    let apps = wallclock::run_apps(procs);
+    let mut t = Table::new(
+        "wallclock_apps",
+        "Application host runtime per scheduler (reduced scale)",
+        &["app", "sched", "procs", "host ms", "dispatches", "host ns/dispatch"],
+    );
+    for a in &apps {
+        t.row(vec![
+            a.app.to_string(),
+            a.sched.to_string(),
+            a.procs.to_string(),
+            format!("{:.1}", a.host_ms),
+            a.dispatches.to_string(),
+            format!("{:.1}", a.host_ns_per_dispatch),
+        ]);
+    }
+    t.finish();
+
+    let path = wallclock::json_path();
+    std::fs::write(&path, wallclock::to_json(&micro, &apps)).expect("write BENCH_sched.json");
+    println!("[json written to {}]", path.display());
+}

@@ -19,6 +19,7 @@ use std::path::PathBuf;
 
 pub mod drivers;
 pub mod plot;
+pub mod wallclock;
 
 pub use ptdf::{Config, CostModel, Report, SchedKind, SerialReport, VirtTime};
 

@@ -1,0 +1,321 @@
+//! Wall-clock (host-time) harness for the scheduler dispatch hot paths.
+//!
+//! Two measurements feed `BENCH_sched.json` at the workspace root:
+//!
+//! 1. **Micro dispatch storms** — each policy is driven *directly* through
+//!    [`ptdf::bench_api`] (no engine, no fibers, no cost model) on
+//!    synthetic fork/join states of 10k–1M live threads, against its naive
+//!    pre-index reference. The storms pin the asymptotic difference:
+//!
+//!    * `df_join_storm`: one dispatchable root to the right of `n` blocked
+//!      placeholders (a join-wave). The reference scans every placeholder
+//!      per pop (O(n)); the indexed scheduler answers from its eligible
+//!      index (O(log n)).
+//!    * `dfdeques_poll_storm`: an owner deque holding `n` items published
+//!      in the processor's virtual future (a `NotYet` poll, the idle
+//!      processor's hot loop). The reference rescans every item twice per
+//!      pop (O(n)); the indexed scheduler answers from its cached exact
+//!      minimum (O(1)).
+//!
+//! 2. **Application wall-clock** — matmul, FFT, and the decision tree at
+//!    reduced scale under every scheduler, reporting total host runtime and
+//!    host nanoseconds per engine dispatch.
+//!
+//! `REPRO_QUICK=1` shrinks the storm sizes and budgets for CI smoke runs.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use ptdf::bench_api::{BenchPolicy, BenchPop};
+use ptdf::{Config, SchedKind};
+
+use crate::drivers::{dtree_driver, fft_driver, matmul_driver, AppDriver};
+
+/// One (storm, implementation, size) measurement.
+#[derive(Debug, Clone)]
+pub struct StormPoint {
+    /// Storm name.
+    pub storm: &'static str,
+    /// Scheduler the storm targets ("df" / "df-deques").
+    pub sched: &'static str,
+    /// "indexed" or "reference".
+    pub impl_name: &'static str,
+    /// Live threads resident in the policy during the measurement.
+    pub live_threads: u64,
+    /// Dispatch attempts timed.
+    pub ops: u64,
+    /// Host nanoseconds per dispatch attempt.
+    pub ns_per_dispatch: f64,
+}
+
+/// One application run under one scheduler.
+#[derive(Debug, Clone)]
+pub struct AppPoint {
+    /// Application name.
+    pub app: &'static str,
+    /// Scheduler name.
+    pub sched: &'static str,
+    /// Virtual processors.
+    pub procs: usize,
+    /// Total host runtime of the run, milliseconds.
+    pub host_ms: f64,
+    /// Engine dispatches over the run.
+    pub dispatches: u64,
+    /// Host nanoseconds per engine dispatch (total runtime / dispatches —
+    /// an upper bound on scheduler cost, since it includes the app itself).
+    pub host_ns_per_dispatch: f64,
+    /// Virtual makespan of the run (model output, for cross-checking that
+    /// implementations only changed speed, not results).
+    pub virt_makespan_ns: u64,
+}
+
+/// True when `REPRO_QUICK=1` asks for a CI-sized smoke run.
+pub fn quick() -> bool {
+    std::env::var("REPRO_QUICK").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+}
+
+/// Storm sizes: 10k–1M live threads (10k–100k under `REPRO_QUICK`).
+pub fn storm_sizes() -> Vec<u64> {
+    if quick() {
+        vec![10_000, 100_000]
+    } else {
+        vec![10_000, 100_000, 1_000_000]
+    }
+}
+
+fn budget() -> Duration {
+    Duration::from_millis(if quick() { 25 } else { 150 })
+}
+
+/// Times `op` repeatedly until the budget elapses (checking the clock every
+/// few iterations so slow O(n) reference pops still terminate promptly).
+fn time_ops(mut op: impl FnMut(), budget: Duration) -> (u64, f64) {
+    // Warm up (first pop may lazily build state on either implementation).
+    op();
+    let start = Instant::now();
+    let mut ops = 0u64;
+    loop {
+        for _ in 0..8 {
+            op();
+        }
+        ops += 8;
+        let elapsed = start.elapsed();
+        if elapsed >= budget {
+            return (ops, elapsed.as_nanos() as f64 / ops as f64);
+        }
+    }
+}
+
+const QUOTA: u64 = 1 << 20;
+
+/// A join-wave: `n` blocked children sit immediately left of their ready
+/// parent in the serial depth-first order, so every dispatch of the parent
+/// must get past all of them. Measures pop + re-publish of the parent.
+fn df_join_storm(mut pol: BenchPolicy, n: u64) -> (u64, f64) {
+    pol.on_create(0, None, true, 0, 0);
+    for i in 1..=n as u32 {
+        // Handoff-created (running) children that block at once: each
+        // leaves a non-ready placeholder immediately left of the root.
+        pol.on_create(i, Some(0), false, 0, 0);
+        pol.on_block(i);
+    }
+    time_ops(
+        move || {
+            match pol.pop(0, 1) {
+                BenchPop::Got { tid: 0, .. } => {}
+                r => panic!("join storm must dispatch the root, got {r:?}"),
+            }
+            pol.on_ready(0, 1, 0, None);
+        },
+        budget(),
+    )
+}
+
+/// An idle-processor poll against an owner deque of `n` items all published
+/// in the virtual future (e.g. by a processor running ahead): every pop is
+/// a `NotYet`, the answer the engine uses to pick its idle-until time.
+fn dfdeques_poll_storm(mut pol: BenchPolicy, n: u64) -> (u64, f64) {
+    const FUTURE: u64 = 1 << 40;
+    for i in 0..n as u32 {
+        pol.on_create(i, None, true, FUTURE + u64::from(i), 0);
+    }
+    time_ops(
+        move || match pol.pop(0, 0) {
+            BenchPop::NotYet(t) if t == FUTURE => {}
+            r => panic!("poll storm must answer NotYet({FUTURE}), got {r:?}"),
+        },
+        budget(),
+    )
+}
+
+/// One storm case: names plus the storm function and the policy it drives.
+type StormCase = (
+    &'static str,
+    &'static str,
+    &'static str,
+    fn(BenchPolicy, u64) -> (u64, f64),
+    BenchPolicy,
+);
+
+/// Runs every storm at every size for both implementations.
+pub fn run_micro() -> Vec<StormPoint> {
+    let mut out = Vec::new();
+    for &n in &storm_sizes() {
+        let cases: [StormCase; 4] = [
+            ("df_join_storm", "df", "indexed", df_join_storm, BenchPolicy::df(QUOTA)),
+            (
+                "df_join_storm",
+                "df",
+                "reference",
+                df_join_storm,
+                BenchPolicy::df_reference(QUOTA),
+            ),
+            (
+                "dfdeques_poll_storm",
+                "df-deques",
+                "indexed",
+                dfdeques_poll_storm,
+                BenchPolicy::dfdeques(QUOTA, 2),
+            ),
+            (
+                "dfdeques_poll_storm",
+                "df-deques",
+                "reference",
+                dfdeques_poll_storm,
+                BenchPolicy::dfdeques_reference(QUOTA, 2),
+            ),
+        ];
+        for (storm, sched, impl_name, run, pol) in cases {
+            let (ops, ns) = run(pol, n);
+            out.push(StormPoint {
+                storm,
+                sched,
+                impl_name,
+                live_threads: n,
+                ops,
+                ns_per_dispatch: ns,
+            });
+        }
+    }
+    out
+}
+
+/// Speedup (reference / indexed) for each storm and size present in
+/// `points`.
+pub fn speedups(points: &[StormPoint]) -> Vec<(&'static str, u64, f64)> {
+    let mut out = Vec::new();
+    for p in points.iter().filter(|p| p.impl_name == "indexed") {
+        if let Some(r) = points
+            .iter()
+            .find(|r| r.impl_name == "reference" && r.storm == p.storm && r.live_threads == p.live_threads)
+        {
+            out.push((p.storm, p.live_threads, r.ns_per_dispatch / p.ns_per_dispatch));
+        }
+    }
+    out
+}
+
+/// Schedulers the application sweep covers.
+pub fn app_scheds() -> Vec<SchedKind> {
+    vec![
+        SchedKind::Fifo,
+        SchedKind::Lifo,
+        SchedKind::Df,
+        SchedKind::DfDeques,
+        SchedKind::Ws,
+    ]
+}
+
+/// Times matmul / FFT / decision tree (reduced scale) under each scheduler.
+pub fn run_apps(procs: usize) -> Vec<AppPoint> {
+    let apps: [(&'static str, AppDriver); 3] = [
+        ("matmul", matmul_driver()),
+        ("fft", fft_driver()),
+        ("dtree", dtree_driver()),
+    ];
+    let mut out = Vec::new();
+    for (app, driver) in apps {
+        for kind in app_scheds() {
+            let cfg = Config::new(procs, kind);
+            let start = Instant::now();
+            let report = (driver.fine)(cfg);
+            let host = start.elapsed();
+            let dispatches: u64 = report.stats.procs.iter().map(|p| p.dispatches).sum();
+            out.push(AppPoint {
+                app,
+                sched: kind.name(),
+                procs,
+                host_ms: host.as_secs_f64() * 1e3,
+                dispatches,
+                host_ns_per_dispatch: host.as_nanos() as f64 / dispatches.max(1) as f64,
+                virt_makespan_ns: report.makespan().as_ns(),
+            });
+        }
+    }
+    out
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders the whole result set as the `BENCH_sched.json` document.
+pub fn to_json(micro: &[StormPoint], apps: &[AppPoint]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"bench\": \"wallclock\",\n");
+    let _ = writeln!(s, "  \"quick\": {},", quick());
+    s.push_str("  \"micro_dispatch\": [\n");
+    for (i, p) in micro.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"storm\": \"{}\", \"sched\": \"{}\", \"impl\": \"{}\", \"live_threads\": {}, \"ops\": {}, \"ns_per_dispatch\": {}}}",
+            p.storm, p.sched, p.impl_name, p.live_threads, p.ops, json_f(p.ns_per_dispatch)
+        );
+        s.push_str(if i + 1 < micro.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n  \"speedup_indexed_vs_reference\": [\n");
+    let sp = speedups(micro);
+    for (i, (storm, n, x)) in sp.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"storm\": \"{storm}\", \"live_threads\": {n}, \"speedup\": {}}}",
+            json_f(*x)
+        );
+        s.push_str(if i + 1 < sp.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n  \"apps\": [\n");
+    for (i, a) in apps.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"app\": \"{}\", \"sched\": \"{}\", \"procs\": {}, \"host_ms\": {}, \"dispatches\": {}, \"host_ns_per_dispatch\": {}, \"virt_makespan_ns\": {}}}",
+            a.app,
+            a.sched,
+            a.procs,
+            json_f(a.host_ms),
+            a.dispatches,
+            json_f(a.host_ns_per_dispatch),
+            a.virt_makespan_ns
+        );
+        s.push_str(if i + 1 < apps.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// `BENCH_sched.json` at the workspace root (the committed snapshot
+/// location), `REPRO_OUT` overriding the directory.
+pub fn json_path() -> std::path::PathBuf {
+    if let Ok(dir) = std::env::var("REPRO_OUT") {
+        return std::path::PathBuf::from(dir).join("BENCH_sched.json");
+    }
+    let manifest = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|ws| ws.join("BENCH_sched.json"))
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_sched.json"))
+}

@@ -50,6 +50,8 @@
 #![warn(missing_docs)]
 
 mod api;
+#[cfg(feature = "bench-internals")]
+pub mod bench_api;
 mod config;
 mod mem;
 mod report;

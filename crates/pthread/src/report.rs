@@ -18,6 +18,9 @@ pub struct Report {
     pub quota: Option<u64>,
     /// Total threads created over the run.
     pub total_threads: usize,
+    /// Successful work-migration steals (Ws and DfDeques policies; 0 for
+    /// the serialized schedulers, which never migrate queued work).
+    pub steals: u64,
     /// Machine statistics (makespan, breakdowns, memory).
     pub stats: RunStats,
     /// Execution trace, when enabled via [`Config::with_trace`].
@@ -30,6 +33,7 @@ impl Report {
         config: &Config,
         stats: RunStats,
         total_threads: usize,
+        steals: u64,
         trace: Option<crate::trace::Trace>,
     ) -> Self {
         Report {
@@ -38,6 +42,7 @@ impl Report {
             default_stack: config.default_stack,
             quota: (config.scheduler == SchedKind::Df).then_some(config.quota),
             total_threads,
+            steals,
             stats,
             trace,
         }

@@ -278,6 +278,20 @@ impl Inner {
                 self.policy.on_ready(tid, prio, now, p, Some(p));
                 self.unpark(now);
             }
+            YieldReason::JoinWake { at } => {
+                // Sleep until the joined child's virtual exit: publish the
+                // wake at `at` (ahead of this processor's clock) and let the
+                // processor take other ready work meanwhile. With nothing
+                // else runnable the pop returns `NotYet(at)` and the
+                // processor idles to `at` exactly as the old inline wait
+                // did.
+                let at = at.max(self.machine.clock(p));
+                let prio = self.threads[tid.index()].attr.priority;
+                self.threads[tid.index()].state = TState::Ready;
+                self.sched_op(p);
+                self.policy.on_ready(tid, prio, at, p, Some(p));
+                self.unpark(at);
+            }
         }
     }
 
@@ -361,6 +375,7 @@ pub fn run<T: 'static>(config: Config, f: impl FnOnce() -> T + 'static) -> (T, R
         resume_unwind(payload);
     }
     let peak = inner.threads.len();
+    let steals = inner.policy.steals();
     let trace = inner.trace.take();
     let stats = {
         let machine = std::mem::replace(
@@ -374,7 +389,7 @@ pub fn run<T: 'static>(config: Config, f: impl FnOnce() -> T + 'static) -> (T, R
         .borrow_mut()
         .take()
         .expect("root thread completed without a value");
-    let report = Report::new(&config, stats, peak, trace);
+    let report = Report::new(&config, stats, peak, steals, trace);
     (value, report)
 }
 
@@ -613,7 +628,15 @@ pub(crate) fn join_wait(target: ThreadId) {
             // Happens-before: join cannot return before the child's virtual
             // exit, even when the engine (real-time) ran the child first.
             let exit_time = inner.threads[t].exit_time;
-            inner.machine.idle_until(p, exit_time);
+            if inner.machine.clock(p) < exit_time {
+                // The exit lies in this processor's virtual future. Don't
+                // idle the processor across the gap — that would be
+                // non-greedy (and breaks Brent's bound when other work is
+                // ready). Sleep until the exit becomes visible instead.
+                drop(inner);
+                suspend_current(&rc, YieldReason::JoinWake { at: exit_time });
+                continue;
+            }
             let c = inner.machine.cost().join_exited;
             inner.machine.thread_op(p, c);
             let payload = inner.threads[t].panic.take();

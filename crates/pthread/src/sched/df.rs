@@ -16,12 +16,35 @@
 //!   (in `mem.rs`) preempts a thread that exhausts it and inserts no-op
 //!   dummy threads before allocations larger than `K`.
 //!
+//! # Indexed dispatch (amortized O(log n))
+//!
 //! The queue is a doubly-linked list over a slab, one list per priority
-//! level. All operations are O(1) except `pop`, which scans from the left
-//! for the first ready entry — cheap in practice precisely because this
-//! scheduler keeps the live-thread count small.
+//! level. Earlier revisions scanned the list from the left on every `pop`
+//! (O(live threads) when the left prefix is blocked placeholders or
+//! future-published entries — exactly the paper-scale regime). The list now
+//! carries **order labels**: every node owns a `u64` label strictly
+//! increasing left-to-right within its level, assigned on insertion from
+//! the gap between its neighbours (and rebuilt for the whole level on the
+//! rare gap exhaustion — amortized O(1) per insert). Ready nodes are
+//! indexed by label in two per-level structures:
+//!
+//! * `eligible` — a `BTreeSet<(label, node)>` of ready entries published at
+//!   or before the latest dispatch clock; `pop` takes `first()` in O(log n)
+//!   without visiting a single placeholder.
+//! * `pending` — a min-heap of ready entries published in the future
+//!   (cross-processor wakes); `pop` promotes entries whose `ready_at` has
+//!   arrived and reads the earliest remaining one in O(1) for its `NotYet`
+//!   answer, instead of rescanning every entry.
+//!
+//! Thread-id lookups use a dense `Vec` indexed by `ThreadId` (ids are
+//! allocated sequentially by the engine), not a hash map.
+//!
+//! The naive-scan revision survives as `reference::RefDfSched`, and
+//! randomized differential tests (`diff_tests`) prove both emit identical
+//! `Pop` sequences.
 
-use std::collections::{BTreeMap, HashMap};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 use ptdf_smp::{ProcId, VirtTime};
 
@@ -31,15 +54,35 @@ use crate::thread::ThreadId;
 
 const NIL: usize = usize::MAX;
 
+/// Preferred label gap consumed by one insertion. Biasing new labels close
+/// to the *left* neighbour leaves room at the insertion point for the DF
+/// pattern (children repeatedly inserted immediately left of their parent,
+/// appends repeatedly inserted before the tail sentinel), so relabels stay
+/// rare.
+const LABEL_STRIDE: u64 = 1 << 20;
+
 #[derive(Debug, Clone)]
 struct Node {
     prev: usize,
     next: usize,
     tid: ThreadId,
+    prio: i32,
+    /// Order label: strictly increasing left-to-right within the level.
+    label: u64,
     ready: bool,
     ready_at: VirtTime,
     /// Processor the thread last ran on (used only with a locality window).
     affinity: Option<ProcId>,
+}
+
+/// Per-priority-level index: sentinels of the order list plus the ready-set
+/// structures described in the module docs.
+#[derive(Debug, Default)]
+struct Level {
+    head: usize,
+    tail: usize,
+    eligible: BTreeSet<(u64, usize)>,
+    pending: BinaryHeap<Reverse<(VirtTime, u64, usize)>>,
 }
 
 #[derive(Debug)]
@@ -54,11 +97,16 @@ pub(crate) struct DfSched {
     hint: Vec<Option<ThreadId>>,
     nodes: Vec<Node>,
     free: Vec<usize>,
-    /// priority → (head sentinel, tail sentinel).
-    lists: BTreeMap<i32, (usize, usize)>,
-    pos: HashMap<ThreadId, usize>,
-    prio_of: HashMap<ThreadId, i32>,
+    levels: BTreeMap<i32, Level>,
+    /// Priority keys of `levels`, descending (cached so multi-level `pop`
+    /// allocates nothing).
+    prio_desc: Vec<i32>,
+    /// Dense `ThreadId -> slab index` table (`NIL` = no entry).
+    pos: Vec<usize>,
     ready: usize,
+    /// Latest dispatch clock observed; publishes at or before it go
+    /// straight to `eligible`, later ones to `pending`.
+    clock_hint: VirtTime,
     /// Peak number of live entries (ready + placeholders), for diagnostics.
     peak_entries: usize,
     entries: usize,
@@ -77,20 +125,23 @@ impl DfSched {
             hint: vec![None; procs],
             nodes: Vec::new(),
             free: Vec::new(),
-            lists: BTreeMap::new(),
-            pos: HashMap::new(),
-            prio_of: HashMap::new(),
+            levels: BTreeMap::new(),
+            prio_desc: Vec::new(),
+            pos: Vec::new(),
             ready: 0,
+            clock_hint: VirtTime::ZERO,
             peak_entries: 0,
             entries: 0,
         }
     }
 
-    fn alloc_node(&mut self, tid: ThreadId) -> usize {
+    fn alloc_node(&mut self, tid: ThreadId, prio: i32) -> usize {
         let node = Node {
             prev: NIL,
             next: NIL,
             tid,
+            prio,
+            label: 0,
             ready: false,
             ready_at: VirtTime::ZERO,
             affinity: None,
@@ -104,31 +155,120 @@ impl DfSched {
         }
     }
 
-    fn level(&mut self, prio: i32) -> (usize, usize) {
-        if let Some(&hs) = self.lists.get(&prio) {
-            return hs;
+    /// Slab position of `t`'s entry, if it has one.
+    fn pos_of(&self, t: ThreadId) -> Option<usize> {
+        match self.pos.get(t.index()) {
+            Some(&n) if n != NIL => Some(n),
+            _ => None,
         }
-        let head = self.alloc_node(ThreadId(u32::MAX));
-        let tail = self.alloc_node(ThreadId(u32::MAX));
+    }
+
+    fn set_pos(&mut self, t: ThreadId, n: usize) {
+        let i = t.index();
+        if i >= self.pos.len() {
+            self.pos.resize(i + 1, NIL);
+        }
+        self.pos[i] = n;
+    }
+
+    fn level(&mut self, prio: i32) -> (usize, usize) {
+        if let Some(level) = self.levels.get(&prio) {
+            return (level.head, level.tail);
+        }
+        let head = self.alloc_node(ThreadId(u32::MAX), prio);
+        let tail = self.alloc_node(ThreadId(u32::MAX), prio);
         self.nodes[head].next = tail;
         self.nodes[tail].prev = head;
-        self.lists.insert(prio, (head, tail));
+        self.nodes[head].label = 0;
+        self.nodes[tail].label = u64::MAX;
+        self.levels.insert(
+            prio,
+            Level {
+                head,
+                tail,
+                ..Level::default()
+            },
+        );
+        self.prio_desc.push(prio);
+        self.prio_desc.sort_unstable_by(|a, b| b.cmp(a));
         (head, tail)
     }
 
-    /// Links node `n` immediately before node `before`.
-    fn link_before(&mut self, n: usize, before: usize) {
+    /// A label strictly between `a` and `b`, biased toward `a` (see
+    /// [`LABEL_STRIDE`]); `None` when the gap is exhausted.
+    fn label_between(a: u64, b: u64) -> Option<u64> {
+        let gap = b - a;
+        if gap <= 1 {
+            None
+        } else {
+            Some(a + (gap / 2).min(LABEL_STRIDE))
+        }
+    }
+
+    /// Links node `n` immediately before node `before`, assigning it an
+    /// order label (relabeling the level on gap exhaustion).
+    fn link_before(&mut self, n: usize, before: usize, prio: i32) {
         let prev = self.nodes[before].prev;
+        let label = match Self::label_between(self.nodes[prev].label, self.nodes[before].label) {
+            Some(l) => l,
+            None => {
+                self.relabel(prio);
+                Self::label_between(self.nodes[prev].label, self.nodes[before].label)
+                    .expect("relabel must open a gap")
+            }
+        };
+        self.nodes[n].label = label;
         self.nodes[n].prev = prev;
         self.nodes[n].next = before;
         self.nodes[prev].next = n;
         self.nodes[before].prev = n;
     }
 
+    /// Re-spaces all labels of a level and rebuilds its ready indexes.
+    /// O(level size), amortized away by [`LABEL_STRIDE`]-spaced inserts.
+    fn relabel(&mut self, prio: i32) {
+        let level = self.levels.get_mut(&prio).expect("relabel of a live level");
+        let (head, tail) = (level.head, level.tail);
+        let mut cur = self.nodes[head].next;
+        let mut label = 0u64;
+        while cur != tail {
+            label += LABEL_STRIDE;
+            self.nodes[cur].label = label;
+            cur = self.nodes[cur].next;
+        }
+        let level = self.levels.get_mut(&prio).expect("relabel of a live level");
+        let nodes = &self.nodes;
+        level.eligible = level
+            .eligible
+            .iter()
+            .map(|&(_, idx)| (nodes[idx].label, idx))
+            .collect();
+        let pending = std::mem::take(&mut level.pending);
+        level.pending = pending
+            .into_iter()
+            .map(|Reverse((at, _, idx))| Reverse((at, nodes[idx].label, idx)))
+            .collect();
+    }
+
     fn unlink(&mut self, n: usize) {
         let (prev, next) = (self.nodes[n].prev, self.nodes[n].next);
         self.nodes[prev].next = next;
         self.nodes[next].prev = prev;
+    }
+
+    /// Indexes a freshly readied node under its level.
+    fn publish(&mut self, n: usize) {
+        debug_assert!(self.nodes[n].ready);
+        let (prio, label, at) = {
+            let node = &self.nodes[n];
+            (node.prio, node.label, node.ready_at)
+        };
+        let level = self.levels.get_mut(&prio).expect("publish into a live level");
+        if at <= self.clock_hint {
+            level.eligible.insert((label, n));
+        } else {
+            level.pending.push(Reverse((at, label, n)));
+        }
     }
 
     /// Peak live-entry count over the run (diagnostics).
@@ -138,7 +278,8 @@ impl DfSched {
     }
 
     /// Marks node `cur` dispatched on processor `p` and records its right
-    /// neighbour as the processor's graph-adjacency hint.
+    /// neighbour as the processor's graph-adjacency hint. The caller has
+    /// already removed the node from its level's `eligible` set.
     fn take(&mut self, cur: usize, p: ProcId) {
         self.nodes[cur].ready = false;
         self.ready -= 1;
@@ -146,6 +287,93 @@ impl DfSched {
             let next = self.nodes[cur].next;
             *slot = (self.nodes[next].tid != ThreadId(u32::MAX)).then(|| self.nodes[next].tid);
         }
+    }
+
+    /// Moves every pending entry whose publish time has arrived into the
+    /// eligible set.
+    fn promote(level: &mut Level, now: VirtTime) {
+        while let Some(&Reverse((at, label, idx))) = level.pending.peek() {
+            if at > now {
+                break;
+            }
+            level.pending.pop();
+            level.eligible.insert((label, idx));
+        }
+    }
+
+    /// Dispatch attempt within one priority level. Returns the chosen slab
+    /// index, accumulating the earliest future publish time into
+    /// `earliest` when nothing is eligible.
+    fn pop_level(
+        &mut self,
+        prio: i32,
+        p: ProcId,
+        now: VirtTime,
+        earliest: &mut Option<VirtTime>,
+    ) -> Option<usize> {
+        let hint = if self.window == 0 {
+            None
+        } else {
+            self.hint.get(p).copied().flatten()
+        };
+        let window = self.window;
+        let level = self.levels.get_mut(&prio).expect("pop of a live level");
+        Self::promote(level, now);
+        let nodes = &self.nodes;
+        fn note(at: VirtTime, earliest: &mut Option<VirtTime>) {
+            *earliest = Some(earliest.map_or(at, |e| if at < e { at } else { e }));
+        }
+        let mut chosen: Option<(u64, usize)> = None;
+        if window == 0 {
+            // Strict order: leftmost eligible. Entries with a future
+            // `ready_at` can linger here only after a clock regression
+            // across processors; skipping them keeps causality exact.
+            for &(label, idx) in level.eligible.iter() {
+                let node = &nodes[idx];
+                if node.ready_at <= now {
+                    chosen = Some((label, idx));
+                    break;
+                }
+                note(node.ready_at, earliest);
+            }
+        } else {
+            // §5.3 locality window: a graph-adjacency or affinity match
+            // within the first `window` eligible entries beats the
+            // leftmost.
+            let mut first: Option<(u64, usize)> = None;
+            let mut affine: Option<(u64, usize)> = None;
+            let mut hinted: Option<(u64, usize)> = None;
+            let mut inspected = 0usize;
+            for &(label, idx) in level.eligible.iter() {
+                let node = &nodes[idx];
+                if node.ready_at > now {
+                    note(node.ready_at, earliest);
+                    continue;
+                }
+                if hint == Some(node.tid) {
+                    hinted = Some((label, idx));
+                }
+                if affine.is_none() && node.affinity == Some(p) {
+                    affine = Some((label, idx));
+                }
+                if first.is_none() {
+                    first = Some((label, idx));
+                }
+                inspected += 1;
+                if inspected >= window {
+                    break;
+                }
+            }
+            chosen = hinted.or(affine).or(first);
+        }
+        if let Some(key) = chosen {
+            level.eligible.remove(&key);
+            return Some(key.1);
+        }
+        if let Some(&Reverse((at, _, _))) = level.pending.peek() {
+            note(at, earliest);
+        }
+        None
     }
 }
 
@@ -175,7 +403,9 @@ impl Policy for DfSched {
         at: VirtTime,
         _on_proc: ProcId,
     ) {
-        let n = self.alloc_node(t);
+        // Ensure the level exists before anchoring against it.
+        let (_, tail) = self.level(prio);
+        let n = self.alloc_node(t, prio);
         self.nodes[n].ready = enqueue;
         self.nodes[n].ready_at = at;
         // Placement: immediately left of the parent's placeholder when the
@@ -183,19 +413,16 @@ impl Policy for DfSched {
         // position); otherwise at the tail of the child's level (a fresh
         // serial order for that level).
         let anchor = parent
-            .and_then(|p| {
-                if self.prio_of.get(&p) == Some(&prio) {
-                    self.pos.get(&p).copied()
-                } else {
-                    None
-                }
+            .and_then(|par| {
+                let pn = self.pos_of(par)?;
+                (self.nodes[pn].prio == prio).then_some(pn)
             })
-            .unwrap_or_else(|| self.level(prio).1);
-        self.link_before(n, anchor);
-        self.pos.insert(t, n);
-        self.prio_of.insert(t, prio);
+            .unwrap_or(tail);
+        self.link_before(n, anchor, prio);
+        self.set_pos(t, n);
         if enqueue {
             self.ready += 1;
+            self.publish(n);
         }
         self.entries += 1;
         self.peak_entries = self.peak_entries.max(self.entries);
@@ -209,23 +436,25 @@ impl Policy for DfSched {
         _waker: ProcId,
         _affinity: Option<ProcId>,
     ) {
-        let n = self.pos[&t];
+        let n = self.pos_of(t).expect("readied thread has a placeholder");
         debug_assert!(!self.nodes[n].ready, "double ready for {t}");
         self.nodes[n].ready = true;
         self.nodes[n].ready_at = at;
         self.nodes[n].affinity = _affinity;
         self.ready += 1;
+        self.publish(n);
     }
 
     fn on_block(&mut self, t: ThreadId) {
         // Blocked threads keep their placeholder; they are simply not ready.
-        let n = self.pos[&t];
+        let n = self.pos_of(t).expect("blocked thread has a placeholder");
         debug_assert!(!self.nodes[n].ready, "blocking a queued thread {t}");
+        let _ = n;
     }
 
     fn on_exit(&mut self, t: ThreadId) {
-        let n = self.pos.remove(&t).expect("exiting thread has a placeholder");
-        self.prio_of.remove(&t);
+        let n = self.pos_of(t).expect("exiting thread has a placeholder");
+        self.pos[t.index()] = NIL;
         debug_assert!(!self.nodes[n].ready, "exiting thread still queued");
         self.unlink(n);
         self.free.push(n);
@@ -236,66 +465,27 @@ impl Policy for DfSched {
         if self.ready == 0 {
             return Pop::Empty;
         }
+        if now > self.clock_hint {
+            self.clock_hint = now;
+        }
         let mut earliest: Option<VirtTime> = None;
-        // Almost every program runs at a single priority level; avoid a
-        // per-dispatch allocation for that case.
-        let mut single: [(usize, usize); 1] = [(NIL, NIL)];
-        let levels: &[(usize, usize)] = if self.lists.len() == 1 {
-            single[0] = *self.lists.values().next().expect("one level");
-            &single
+        if self.prio_desc.len() == 1 {
+            // Almost every program runs at a single priority level; skip
+            // the key iteration for that case.
+            let prio = self.prio_desc[0];
+            if let Some(idx) = self.pop_level(prio, p, now, &mut earliest) {
+                let tid = self.nodes[idx].tid;
+                self.take(idx, p);
+                return Pop::Got { tid, stolen: false };
+            }
         } else {
-            return self.pop_multi_level(p, now);
-        };
-        for &(head, tail) in levels {
-            // Leftmost eligible wins; with a locality window, a match for
-            // this processor within the first `window` eligible entries
-            // wins instead.
-            let hint = self.hint.get(p).copied().flatten();
-            let mut first: Option<usize> = None;
-            let mut affine: Option<usize> = None;
-            let mut hinted: Option<usize> = None;
-            let mut inspected = 0usize;
-            let mut cur = self.nodes[head].next;
-            while cur != tail {
-                let node = &self.nodes[cur];
-                if node.ready {
-                    if node.ready_at <= now {
-                        if self.window == 0 {
-                            let tid = node.tid;
-                            self.take(cur, p);
-                            return Pop::Got { tid, stolen: false };
-                        }
-                        if hint == Some(node.tid) {
-                            hinted = Some(cur);
-                        }
-                        if affine.is_none() && node.affinity == Some(p) {
-                            affine = Some(cur);
-                        }
-                        if first.is_none() {
-                            first = Some(cur);
-                        }
-                        inspected += 1;
-                        if inspected >= self.window {
-                            break;
-                        }
-                    } else {
-                        let at = node.ready_at;
-                        earliest =
-                            Some(earliest.map_or(at, |e: VirtTime| if at < e { at } else { e }));
-                    }
+            for i in 0..self.prio_desc.len() {
+                let prio = self.prio_desc[i];
+                if let Some(idx) = self.pop_level(prio, p, now, &mut earliest) {
+                    let tid = self.nodes[idx].tid;
+                    self.take(idx, p);
+                    return Pop::Got { tid, stolen: false };
                 }
-                cur = self.nodes[cur].next;
-            }
-            // Graph-adjacency hint beats thread affinity beats leftmost.
-            if let Some(cur) = hinted.or(affine) {
-                let tid = self.nodes[cur].tid;
-                self.take(cur, p);
-                return Pop::Got { tid, stolen: false };
-            }
-            if let Some(cur) = first {
-                let tid = self.nodes[cur].tid;
-                self.take(cur, p);
-                return Pop::Got { tid, stolen: false };
             }
         }
         match earliest {
@@ -306,61 +496,6 @@ impl Policy for DfSched {
 
     fn ready_len(&self) -> usize {
         self.ready
-    }
-}
-
-impl DfSched {
-    /// General multi-priority dispatch path (allocates a level snapshot).
-    fn pop_multi_level(&mut self, p: ProcId, now: VirtTime) -> Pop {
-        let mut earliest: Option<VirtTime> = None;
-        let levels: Vec<(usize, usize)> = self.lists.values().rev().copied().collect();
-        for (head, tail) in levels {
-            let hint = self.hint.get(p).copied().flatten();
-            let mut first: Option<usize> = None;
-            let mut affine: Option<usize> = None;
-            let mut hinted: Option<usize> = None;
-            let mut inspected = 0usize;
-            let mut cur = self.nodes[head].next;
-            while cur != tail {
-                let node = &self.nodes[cur];
-                if node.ready {
-                    if node.ready_at <= now {
-                        if self.window == 0 {
-                            let tid = node.tid;
-                            self.take(cur, p);
-                            return Pop::Got { tid, stolen: false };
-                        }
-                        if hint == Some(node.tid) {
-                            hinted = Some(cur);
-                        }
-                        if affine.is_none() && node.affinity == Some(p) {
-                            affine = Some(cur);
-                        }
-                        if first.is_none() {
-                            first = Some(cur);
-                        }
-                        inspected += 1;
-                        if inspected >= self.window {
-                            break;
-                        }
-                    } else {
-                        let at = node.ready_at;
-                        earliest =
-                            Some(earliest.map_or(at, |e: VirtTime| if at < e { at } else { e }));
-                    }
-                }
-                cur = self.nodes[cur].next;
-            }
-            if let Some(cur) = hinted.or(affine).or(first) {
-                let tid = self.nodes[cur].tid;
-                self.take(cur, p);
-                return Pop::Got { tid, stolen: false };
-            }
-        }
-        match earliest {
-            Some(t) => Pop::NotYet(t),
-            None => Pop::Empty,
-        }
     }
 }
 
@@ -498,5 +633,25 @@ mod tests {
         s.on_create(t(0), None, 0, true, VirtTime::from_ns(100), 0);
         assert_eq!(s.pop(0, VirtTime::from_ns(10)), Pop::NotYet(VirtTime::from_ns(100)));
         assert_eq!(s.pop(0, VirtTime::from_ns(100)), got(t(0)));
+    }
+
+    #[test]
+    fn relabel_preserves_order_under_adversarial_inserts() {
+        // Repeatedly insert before the same anchor to exhaust label gaps;
+        // dispatch order must stay the exact list order throughout.
+        let mut s = DfSched::new(1024);
+        s.on_create(t(0), None, 0, true, VirtTime::ZERO, 0);
+        assert_eq!(s.pop(0, VirtTime::ZERO), got(t(0)));
+        let n = 5000;
+        for i in 1..=n {
+            s.on_create(t(i), Some(t(0)), 0, false, VirtTime::ZERO, 0);
+            s.on_ready(t(i), 0, VirtTime::ZERO, 0, None);
+        }
+        // List order is [t1, t2, ..., tn, t0]; all ready except t0.
+        for i in 1..=n {
+            assert_eq!(s.pop(0, VirtTime::ZERO), got(t(i)), "at {i}");
+            s.on_exit(t(i));
+        }
+        assert_eq!(s.pop(0, VirtTime::ZERO), Pop::Empty);
     }
 }

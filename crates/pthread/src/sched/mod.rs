@@ -4,13 +4,23 @@
 //! at thread creation, wakeup, block, exit, and dispatch. Entries carry a
 //! `ready_at` virtual timestamp: a thread published at time `t` by one
 //! processor is invisible to another processor dispatching at an earlier
-//! virtual time (the simulation's causality rule).
+//! virtual time (the simulation's causality rule). The rule binds **every**
+//! dispatch path, steals included: a work-stealing or `DFDeques` thief may
+//! neither take an entry published in its causal future nor reach *behind*
+//! such an entry where the policy's order makes it a barrier (a `DFDeques`
+//! deque whose top is ineligible is not stealable at all).
 
 mod df;
 mod dfdeques;
 mod fifo;
 mod lifo;
 mod ws;
+
+#[cfg(any(test, feature = "bench-internals"))]
+pub(crate) mod reference;
+
+#[cfg(test)]
+mod diff_tests;
 
 pub(crate) use df::DfSched;
 pub(crate) use dfdeques::DfDequesSched;
@@ -98,6 +108,12 @@ pub(crate) trait Policy {
 
     /// Number of ready (schedulable) entries, for diagnostics.
     fn ready_len(&self) -> usize;
+
+    /// Number of successful steals over the run (0 for policies that never
+    /// migrate work between processors).
+    fn steals(&self) -> u64 {
+        0
+    }
 }
 
 /// Instantiates the policy selected by `config`.

@@ -25,6 +25,7 @@ pub(crate) struct WsSched {
     deques: Vec<VecDeque<(ThreadId, VirtTime)>>,
     rng: u64,
     ready: usize,
+    steals: u64,
 }
 
 impl WsSched {
@@ -33,6 +34,7 @@ impl WsSched {
             deques: vec![VecDeque::new(); processors],
             rng: seed | 1,
             ready: 0,
+            steals: 0,
         }
     }
 
@@ -117,6 +119,7 @@ impl Policy for WsSched {
             if let Some(pos) = self.deques[v].iter().position(|&(_, at)| at <= now) {
                 let (tid, _) = self.deques[v].remove(pos).expect("position valid");
                 self.ready -= 1;
+                self.steals += 1;
                 return Pop::Got { tid, stolen: true };
             }
             for &(_, at) in self.deques[v].iter() {
@@ -131,6 +134,10 @@ impl Policy for WsSched {
 
     fn ready_len(&self) -> usize {
         self.ready
+    }
+
+    fn steals(&self) -> u64 {
+        self.steals
     }
 }
 

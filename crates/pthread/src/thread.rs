@@ -38,6 +38,12 @@ pub(crate) enum YieldReason {
     Preempted,
     /// Voluntary yield; re-queue.
     Yielded,
+    /// Joining a child that has already exited (in engine real time) but
+    /// whose virtual exit lies in this processor's future. The thread
+    /// sleeps until `at` — re-queued immediately, published at the child's
+    /// exit time — so the processor can run other ready work in the gap
+    /// instead of idling (greedy scheduling).
+    JoinWake { at: ptdf_smp::VirtTime },
     /// Simulation time-slice: this fiber ran far ahead of the other
     /// processors' virtual clocks and must pause so that virtually
     /// concurrent segments interleave correctly. The engine resumes it on

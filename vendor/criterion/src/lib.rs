@@ -1,0 +1,199 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the workspace's
+//! micro-benchmarks use — `criterion_group!`/`criterion_main!`,
+//! `benchmark_group`, `bench_function`, `Bencher::{iter, iter_batched,
+//! iter_batched_ref}` — with a plain wall-clock measurement loop instead of
+//! criterion's statistical machinery: warm up briefly, then time enough
+//! iterations to fill a measurement window and report mean ns/iter.
+//!
+//! Honors `CRITERION_QUICK=1` to shrink the windows (used by CI smoke).
+
+use std::time::{Duration, Instant};
+
+fn window() -> (Duration, Duration) {
+    if std::env::var("CRITERION_QUICK").is_ok_and(|v| v == "1") {
+        (Duration::from_millis(5), Duration::from_millis(20))
+    } else {
+        (Duration::from_millis(100), Duration::from_millis(400))
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.into(), &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks (prefixes the reported ids).
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted and ignored (the stand-in sizes runs by wall-clock window).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into()), &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, f: &mut F) {
+    let (warm, measure) = window();
+    // Warm-up pass.
+    let mut b = Bencher {
+        deadline: Instant::now() + warm,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    // Measurement pass.
+    let mut b = Bencher {
+        deadline: Instant::now() + measure,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = if b.iters > 0 {
+        b.elapsed.as_nanos() as f64 / b.iters as f64
+    } else {
+        f64::NAN
+    };
+    println!("bench {id:50} {per_iter:14.1} ns/iter  ({} iters)", b.iters);
+}
+
+/// Batch sizing hints; accepted and ignored.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Timing loop handle passed to the benchmark closure.
+pub struct Bencher {
+    deadline: Instant,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly until the measurement window closes.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        loop {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+            if Instant::now() >= self.deadline {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup` (setup untimed).
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+            if Instant::now() >= self.deadline {
+                break;
+            }
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but passes the input by `&mut`.
+    pub fn iter_batched_ref<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> R,
+    {
+        loop {
+            let mut input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(&mut input));
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+            if Instant::now() >= self.deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Collects benchmark functions into one runner fn, like upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_counts_and_times() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(10).bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_function("batched", |b| {
+            b.iter_batched_ref(|| vec![1u8; 16], |v| v[0], BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,167 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the small deterministic subset it actually uses: `SmallRng`
+//! seeded from a `u64`, uniform integer ranges, and `gen_bool`. The stream
+//! differs from upstream `rand` (it is sfc64-based), which is fine — every
+//! consumer in this workspace only relies on *self*-determinism (same seed,
+//! same stream), never on matching upstream's values.
+
+pub mod rngs {
+    /// A small, fast, deterministic RNG (sfc64).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        a: u64,
+        b: u64,
+        c: u64,
+        counter: u64,
+    }
+
+    impl SmallRng {
+        pub(crate) fn from_u64_seed(seed: u64) -> Self {
+            let mut rng = SmallRng {
+                a: seed,
+                b: seed ^ 0x9E3779B97F4A7C15,
+                c: seed.wrapping_mul(0x2545F4914F6CDD1D) | 1,
+                counter: 1,
+            };
+            // Warm up so near-identical seeds diverge.
+            for _ in 0..12 {
+                rng.next_u64();
+            }
+            rng
+        }
+
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            let out = self.a.wrapping_add(self.b).wrapping_add(self.counter);
+            self.counter = self.counter.wrapping_add(1);
+            self.a = self.b ^ (self.b >> 11);
+            self.b = self.c.wrapping_add(self.c << 3);
+            self.c = self.c.rotate_left(24).wrapping_add(out);
+            out
+        }
+    }
+}
+
+/// Seedable constructors (the subset of `rand::SeedableRng` used here).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::SmallRng::from_u64_seed(seed)
+    }
+}
+
+/// A range a uniform sample can be drawn from (half-open or inclusive
+/// integer ranges).
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut rngs::SmallRng) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, rng: &mut rngs::SmallRng) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut rngs::SmallRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, rng: &mut rngs::SmallRng) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = self.end.wrapping_sub(self.start) as $u as u64;
+                self.start.wrapping_add((rng.next_u64() % span) as $u as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut rngs::SmallRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = hi.wrapping_sub(lo) as $u as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % (span + 1)) as $u as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+/// Sampling methods (the subset of `rand::Rng` used here).
+pub trait Rng {
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for rngs::SmallRng {
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        // 53 bits of precision, like upstream.
+        let x = self.next_u64() >> 11;
+        (x as f64) < p * (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = r.gen_range(5u64..10);
+            assert!((5..10).contains(&x));
+            let y = r.gen_range(1usize..=3);
+            assert!((1..=3).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = SmallRng::seed_from_u64(3);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2000..4000).contains(&hits), "p=0.3 gave {hits}/10000");
+    }
+}

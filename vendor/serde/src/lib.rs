@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access. The workspace only uses
+//! `#[derive(serde::Serialize)]` as a marker (no code path serializes yet),
+//! so this crate provides the `Serialize`/`Deserialize` traits and a no-op
+//! derive that accepts `#[serde(...)]` helper attributes. If a future PR
+//! needs real serialization, extend the derive in `vendor/serde_derive` to
+//! emit field-walking code.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
