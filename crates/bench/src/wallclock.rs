@@ -148,45 +148,91 @@ fn dfdeques_poll_storm(mut pol: BenchPolicy, n: u64) -> (u64, f64) {
     )
 }
 
-/// One storm case: names plus the storm function and the policy it drives.
+/// One storm case: names plus the storm function and a constructor for the
+/// policy it drives (fresh state per repetition).
 type StormCase = (
     &'static str,
     &'static str,
     &'static str,
     fn(BenchPolicy, u64) -> (u64, f64),
-    BenchPolicy,
+    fn() -> BenchPolicy,
 );
+
+/// Repetitions per storm point; the minimum is kept. Host scheduling on a
+/// shared machine swings single samples by tens of percent — the best-of
+/// minimum is what the hot path can do and is stable enough to commit as a
+/// baseline and to compare against one.
+const STORM_REPS: usize = 3;
 
 /// Runs every storm at every size for both implementations.
 pub fn run_micro() -> Vec<StormPoint> {
+    run_storms(true)
+}
+
+/// Indexed-implementation storms only (the dispatch hot paths a CI guard
+/// compares against the committed baseline; skips the slow references).
+pub fn run_micro_indexed() -> Vec<StormPoint> {
+    run_storms(false)
+}
+
+fn storm_cases() -> [StormCase; 4] {
+    [
+        ("df_join_storm", "df", "indexed", df_join_storm, || {
+            BenchPolicy::df(QUOTA)
+        }),
+        ("df_join_storm", "df", "reference", df_join_storm, || {
+            BenchPolicy::df_reference(QUOTA)
+        }),
+        (
+            "dfdeques_poll_storm",
+            "df-deques",
+            "indexed",
+            dfdeques_poll_storm,
+            || BenchPolicy::dfdeques(QUOTA, 2),
+        ),
+        (
+            "dfdeques_poll_storm",
+            "df-deques",
+            "reference",
+            dfdeques_poll_storm,
+            || BenchPolicy::dfdeques_reference(QUOTA, 2),
+        ),
+    ]
+}
+
+/// Re-measures one indexed storm point once (fresh policy, single
+/// repetition). The overhead guard retries points that look like
+/// regressions through this: host-scheduling noise never survives a few
+/// extra minima, a real regression does.
+pub fn remeasure_indexed(storm: &str, live_threads: u64) -> Option<StormPoint> {
+    let &(name, sched, impl_name, run, make) = storm_cases()
+        .iter()
+        .find(|c| c.0 == storm && c.2 == "indexed")?;
+    let (ops, ns) = run(make(), live_threads);
+    Some(StormPoint {
+        storm: name,
+        sched,
+        impl_name,
+        live_threads,
+        ops,
+        ns_per_dispatch: ns,
+    })
+}
+
+fn run_storms(include_reference: bool) -> Vec<StormPoint> {
     let mut out = Vec::new();
     for &n in &storm_sizes() {
-        let cases: [StormCase; 4] = [
-            ("df_join_storm", "df", "indexed", df_join_storm, BenchPolicy::df(QUOTA)),
-            (
-                "df_join_storm",
-                "df",
-                "reference",
-                df_join_storm,
-                BenchPolicy::df_reference(QUOTA),
-            ),
-            (
-                "dfdeques_poll_storm",
-                "df-deques",
-                "indexed",
-                dfdeques_poll_storm,
-                BenchPolicy::dfdeques(QUOTA, 2),
-            ),
-            (
-                "dfdeques_poll_storm",
-                "df-deques",
-                "reference",
-                dfdeques_poll_storm,
-                BenchPolicy::dfdeques_reference(QUOTA, 2),
-            ),
-        ];
-        for (storm, sched, impl_name, run, pol) in cases {
-            let (ops, ns) = run(pol, n);
+        for &(storm, sched, impl_name, run, make) in &storm_cases() {
+            if !include_reference && impl_name != "indexed" {
+                continue;
+            }
+            let (mut ops, mut ns) = run(make(), n);
+            for _ in 1..STORM_REPS {
+                let (o, t) = run(make(), n);
+                if t < ns {
+                    (ops, ns) = (o, t);
+                }
+            }
             out.push(StormPoint {
                 storm,
                 sched,

@@ -95,6 +95,10 @@ pub struct Config {
     pub locality_window: usize,
     /// Record an execution trace (see [`crate::Trace`]).
     pub trace: bool,
+    /// When tracing, heap allocs/frees at or above this many bytes produce
+    /// individual trace events (smaller ones still move the footprint
+    /// counter track). Keeps traces of allocation-heavy runs bounded.
+    pub trace_alloc_threshold: u64,
 }
 
 impl Config {
@@ -111,6 +115,7 @@ impl Config {
             seed: 0x5EED,
             locality_window: 16,
             trace: false,
+            trace_alloc_threshold: 4096,
         }
     }
 
@@ -149,6 +154,13 @@ impl Config {
     /// Enables execution tracing (builder style).
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Sets the alloc/free trace-event threshold (builder style); implies
+    /// nothing about tracing itself — combine with [`Config::with_trace`].
+    pub fn with_trace_alloc_threshold(mut self, bytes: u64) -> Self {
+        self.trace_alloc_threshold = bytes;
         self
     }
 }

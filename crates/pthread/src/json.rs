@@ -1,0 +1,429 @@
+//! Minimal JSON document model: a `serde_json`-style value tree with a
+//! spec-correct serializer (full string escaping, non-finite floats become
+//! `null`) and a strict recursive-descent parser.
+//!
+//! The build environment has no crates.io access, so this stands in for
+//! `serde_json` where the trace subsystem needs *real* JSON — the earlier
+//! hand-`format!`ed exporter produced invalid documents for non-finite
+//! durations and did no string escaping. Object member order is preserved
+//! (members are a `Vec`, not a map), which is what makes the Chrome-trace
+//! round trip (`Trace::to_chrome_json` / `Trace::from_chrome_json`)
+//! byte-stable.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+///
+/// Numbers keep their lexical class: integers parse to [`Value::UInt`] /
+/// [`Value::Int`] (so `u64` virtual-time nanoseconds survive bit-exactly),
+/// everything else to [`Value::Float`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer.
+    UInt(u64),
+    /// A negative integer.
+    Int(i64),
+    /// A non-integral (or out-of-range) number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; member order is preserved.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object member lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(v) => Some(v),
+            Value::Int(v) => u64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (any number).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::UInt(v) => Some(v as f64),
+            Value::Int(v) => Some(v as f64),
+            Value::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes to a compact JSON string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::Float(v) => {
+                // JSON has no NaN/Infinity; serialize them as null rather
+                // than emitting an invalid document.
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                    // `Display` prints integral floats without a point;
+                    // keep the float class for the round trip.
+                    if !out.ends_with(['.', 'e'])
+                        && !out[out.rfind(|c: char| !c.is_ascii_digit() && c != '-').map_or(0, |i| i)..]
+                            .contains(['.', 'e', 'E'])
+                    {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_escaped(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document. Trailing whitespace is allowed; trailing
+    /// garbage is an error.
+    pub fn parse(input: &str) -> Result<Value, String> {
+        let bytes = input.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+/// Writes `s` as a JSON string literal with full escaping.
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected '{}' at byte {}, found {:?}",
+            b as char,
+            pos,
+            bytes.get(*pos).map(|&b| b as char)
+        ))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => parse_lit(bytes, pos, "null", Value::Null),
+        Some(b't') => parse_lit(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Value::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    other => return Err(format!("expected ',' or ']' at byte {pos}, found {other:?}")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(members));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                members.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(members));
+                    }
+                    other => return Err(format!("expected ',' or '}}' at byte {pos}, found {other:?}")),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Value) -> Result<Value, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                        let mut code =
+                            u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        *pos += 4;
+                        // Surrogate pair?
+                        if (0xD800..0xDC00).contains(&code)
+                            && bytes.get(*pos + 1..*pos + 3) == Some(b"\\u")
+                        {
+                            if let Some(hex2) = bytes.get(*pos + 3..*pos + 7) {
+                                let hex2 = std::str::from_utf8(hex2).map_err(|e| e.to_string())?;
+                                if let Ok(low) = u32::from_str_radix(hex2, 16) {
+                                    if (0xDC00..0xE000).contains(&low) {
+                                        code = 0x10000
+                                            + ((code - 0xD800) << 10)
+                                            + (low - 0xDC00);
+                                        *pos += 6;
+                                    }
+                                }
+                            }
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the input is a &str, so byte
+                // boundaries are sound; find the char at this byte offset).
+                let rest = &bytes[*pos..];
+                let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                let c = s.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    if text.is_empty() || text == "-" {
+        return Err(format!("invalid number at byte {start}"));
+    }
+    if !float {
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(Value::UInt(v));
+        }
+        if let Ok(v) = text.parse::<i64>() {
+            return Ok(Value::Int(v));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::Float)
+        .map_err(|e| format!("invalid number {text:?}: {e}"))
+}
+
+/// Builds an object value from `(key, value)` pairs (order preserved).
+pub fn obj(members: Vec<(&str, Value)>) -> Value {
+    Value::Obj(members.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_round_trips_hostile_strings() {
+        for s in [
+            "plain",
+            "with \"quotes\" and \\backslashes\\",
+            "newline\nand\ttab\rand\u{8}bs",
+            "control \u{1} char",
+            "unicode: héllo ✓ 数",
+        ] {
+            let json = Value::Str(s.to_string()).to_json();
+            assert_eq!(Value::parse(&json).unwrap(), Value::Str(s.to_string()), "{json}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        assert_eq!(Value::Float(f64::NAN).to_json(), "null");
+        assert_eq!(Value::Float(f64::INFINITY).to_json(), "null");
+        assert_eq!(Value::Float(f64::NEG_INFINITY).to_json(), "null");
+        assert_eq!(Value::Float(1.5).to_json(), "1.5");
+    }
+
+    #[test]
+    fn integers_survive_bit_exactly() {
+        let v = Value::UInt(u64::MAX);
+        assert_eq!(Value::parse(&v.to_json()).unwrap(), v);
+        let v = Value::Int(-42);
+        assert_eq!(Value::parse(&v.to_json()).unwrap(), v);
+    }
+
+    #[test]
+    fn nested_document_round_trips() {
+        let doc = obj(vec![
+            ("a", Value::Arr(vec![Value::UInt(1), Value::Null, Value::Bool(true)])),
+            ("b", obj(vec![("nested", Value::Str("x\"y".into()))])),
+            ("c", Value::Float(0.125)),
+        ]);
+        let text = doc.to_json();
+        assert_eq!(Value::parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn parser_accepts_whitespace_and_rejects_garbage() {
+        assert!(Value::parse(" { \"k\" : [ 1 , 2 ] } ").is_ok());
+        assert!(Value::parse("{} trailing").is_err());
+        assert!(Value::parse("{\"k\":}").is_err());
+        assert!(Value::parse("[1,]").is_err());
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        assert_eq!(
+            Value::parse("\"\\ud83d\\ude00\"").unwrap(),
+            Value::Str("😀".to_string())
+        );
+    }
+}

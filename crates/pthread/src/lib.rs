@@ -53,6 +53,7 @@ mod api;
 #[cfg(feature = "bench-internals")]
 pub mod bench_api;
 mod config;
+pub mod json;
 mod mem;
 mod report;
 mod runtime;
@@ -77,7 +78,10 @@ pub use rwlock::{ReadGuard, RwLock, WriteGuard};
 pub use sync::{Barrier, Condvar, Mutex, MutexGuard, Semaphore};
 pub use thread::{JoinHandle, ThreadId};
 pub use tls::TlsKey;
-pub use trace::{Span, SpanKind, Trace};
+pub use trace::{
+    BlockReason, Counters, Event, EventKind, LatencyStats, LifecycleSummary, Span, SpanKind,
+    ThreadLifecycle, Trace, TraceMeta,
+};
 
 // Re-export the quantities callers need to interpret reports.
 pub use ptdf_smp::{CostModel, VirtTime};

@@ -51,6 +51,16 @@ pub fn rt_alloc(bytes: u64) {
             {
                 let mut inner = rc.borrow_mut();
                 let (cur, p) = inner.cur.expect("rt_alloc outside a thread");
+                if inner.trace.is_some() {
+                    let at = inner.machine.clock(p);
+                    let tr = inner.trace.as_mut().expect("checked");
+                    tr.event(
+                        at,
+                        p,
+                        Some(cur.0),
+                        crate::trace::EventKind::DummyInsert { count: delta },
+                    );
+                }
                 inner.create_dummy_tree(cur, p, delta);
             }
             suspend_current(&rc, YieldReason::Preempted);

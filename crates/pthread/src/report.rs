@@ -73,4 +73,11 @@ impl Report {
     pub fn speedup_vs(&self, serial: VirtTime) -> f64 {
         self.stats.speedup_vs(serial)
     }
+
+    /// Per-thread lifecycle summary (dispatch-latency and ready-wait
+    /// percentiles, quantum counts) derived from the flight recorder;
+    /// `None` unless the run traced ([`Config::with_trace`]).
+    pub fn lifecycle(&self) -> Option<crate::trace::LifecycleSummary> {
+        self.trace.as_ref().map(|t| t.lifecycle())
+    }
 }

@@ -15,10 +15,11 @@ use std::rc::Rc;
 use ptdf_fiber::{Coroutine, ForcedUnwind, Step};
 use ptdf_smp::{Machine, ProcId, VirtTime};
 
-use crate::config::{Attr, Config};
+use crate::config::{Attr, Config, SchedKind};
 use crate::report::Report;
 use crate::sched::{make_policy, Policy, Pop};
 use crate::thread::{Fiber, JoinHandle, Kind, Slot, TState, Tcb, ThreadId, YieldReason};
+use crate::trace::{BlockReason, EventKind, Trace, TraceMeta};
 
 /// Runtime internals; shared between the engine loop and the API functions
 /// (via the thread-local [`ActiveCtx`]).
@@ -38,8 +39,9 @@ pub(crate) struct Inner {
     pub cur: Option<(ThreadId, ProcId)>,
     pub default_stack: u64,
     pub fiber_stack: usize,
-    /// Execution trace, when enabled.
-    pub trace: Option<crate::trace::Trace>,
+    /// Flight-recorder trace, when enabled. Every hook below tests this
+    /// `Option`'s discriminant and nothing else when tracing is off.
+    pub trace: Option<Trace>,
 }
 
 /// What kind of execution context the calling code is inside.
@@ -86,8 +88,13 @@ pub(crate) fn install_serial(ctx: Rc<RefCell<crate::serial::SerialCtx>>) -> impl
 
 impl Inner {
     fn new(config: &Config) -> Self {
+        let mut machine =
+            Machine::new(config.processors, config.cost.clone(), config.default_stack);
+        if config.trace {
+            machine.enable_recording(config.trace_alloc_threshold);
+        }
         Inner {
-            machine: Machine::new(config.processors, config.cost.clone(), config.default_stack),
+            machine,
             policy: make_policy(config),
             threads: Vec::new(),
             handoff: vec![None; config.processors],
@@ -96,7 +103,18 @@ impl Inner {
             cur: None,
             default_stack: config.default_stack,
             fiber_stack: config.fiber_stack,
-            trace: config.trace.then(crate::trace::Trace::default),
+            trace: config.trace.then(|| {
+                Trace::new(TraceMeta {
+                    scheduler: config.scheduler.name().to_string(),
+                    processors: config.processors,
+                    default_stack: config.default_stack,
+                    quota: matches!(
+                        config.scheduler,
+                        SchedKind::Df | SchedKind::DfLocal | SchedKind::DfDeques
+                    )
+                    .then_some(config.quota),
+                })
+            }),
         }
     }
 
@@ -162,11 +180,22 @@ impl Inner {
                 .map(|par| self.threads[par.index()].attr.priority == prio)
                 .unwrap_or(false);
         let now = self.machine.clock(on_proc);
+        if let Some(tr) = self.trace.as_mut() {
+            tr.event(
+                now,
+                on_proc,
+                Some(id.0),
+                EventKind::Spawn {
+                    parent: parent.map(|t| t.0),
+                },
+            );
+        }
         self.sched_op(on_proc);
         self.policy
             .on_create(id, parent, prio, !handoff_child, now, on_proc);
         if !handoff_child {
             self.threads[id.index()].state = TState::Ready;
+            self.threads[id.index()].ready_since = now;
             self.unpark(now);
         }
         if kind == Kind::Dummy {
@@ -207,6 +236,10 @@ impl Inner {
             (tcb.attr.priority, tcb.last_proc)
         };
         self.threads[t.index()].state = TState::Ready;
+        self.threads[t.index()].ready_since = now;
+        if let Some(tr) = self.trace.as_mut() {
+            tr.event(now, p, Some(t.0), EventKind::Wake);
+        }
         self.sched_op(p);
         self.policy.on_ready(t, prio, now, p, affinity);
         self.unpark(now);
@@ -214,24 +247,34 @@ impl Inner {
 
     /// Registers the current thread as blocked (caller must already have
     /// put it on some wait queue) — to be followed by a `Blocked` suspend.
-    pub fn block_current(&mut self) -> (ThreadId, ProcId) {
+    pub fn block_current(&mut self, reason: BlockReason) -> (ThreadId, ProcId) {
         let (tid, p) = self.cur.expect("block outside a thread");
         let now = self.machine.clock(p);
         let t = &mut self.threads[tid.index()];
         t.state = TState::Blocked;
         t.blocked_at = now;
+        if let Some(tr) = self.trace.as_mut() {
+            tr.event(now, p, Some(tid.0), EventKind::Block { reason });
+        }
         self.policy.on_block(tid);
         self.sched_op(p);
         (tid, p)
     }
 
     fn dispatch_prologue(&mut self, tid: ThreadId, p: ProcId) {
+        let dispatched_at = self.machine.clock(p);
         self.machine.count_dispatch(p);
         let switch = self.machine.cost().ctx_switch;
         self.machine.thread_op(p, switch);
-        let (reserved, committed, has_run) = {
+        let (reserved, committed, has_run, was_ready, ready_since) = {
             let t = self.tcb(tid);
-            (t.stack_reserved, t.stack_committed, t.has_run)
+            (
+                t.stack_reserved,
+                t.stack_committed,
+                t.has_run,
+                t.state == TState::Ready,
+                t.ready_since,
+            )
         };
         if !has_run {
             let committed = self.machine.thread_first_run(p, reserved, committed);
@@ -246,6 +289,16 @@ impl Inner {
         t.state = TState::Running(p);
         t.last_proc = Some(p);
         self.cur = Some((tid, p));
+        let first_run_at = self.machine.clock(p);
+        if let Some(tr) = self.trace.as_mut() {
+            tr.note_quantum(tid.0, dispatched_at);
+            if was_ready {
+                tr.add_ready_wait(tid.0, dispatched_at.since(ready_since));
+            }
+            if !has_run {
+                tr.event(first_run_at, p, Some(tid.0), EventKind::FirstDispatch);
+            }
+        }
     }
 
     fn handle_yield(&mut self, tid: ThreadId, p: ProcId, reason: YieldReason) {
@@ -254,6 +307,7 @@ impl Inner {
                 let now = self.machine.clock(p);
                 let prio = self.threads[tid.index()].attr.priority;
                 self.threads[tid.index()].state = TState::Ready;
+                self.threads[tid.index()].ready_since = now;
                 self.sched_op(p);
                 self.policy.on_ready(tid, prio, now, p, Some(p));
                 self.unpark(now);
@@ -274,6 +328,12 @@ impl Inner {
                 let now = self.machine.clock(p);
                 let prio = self.threads[tid.index()].attr.priority;
                 self.threads[tid.index()].state = TState::Ready;
+                self.threads[tid.index()].ready_since = now;
+                if matches!(reason, YieldReason::Preempted) {
+                    if let Some(tr) = self.trace.as_mut() {
+                        tr.event(now, p, Some(tid.0), EventKind::Preempt);
+                    }
+                }
                 self.sched_op(p);
                 self.policy.on_ready(tid, prio, now, p, Some(p));
                 self.unpark(now);
@@ -288,6 +348,7 @@ impl Inner {
                 let at = at.max(self.machine.clock(p));
                 let prio = self.threads[tid.index()].attr.priority;
                 self.threads[tid.index()].state = TState::Ready;
+                self.threads[tid.index()].ready_since = at;
                 self.sched_op(p);
                 self.policy.on_ready(tid, prio, at, p, Some(p));
                 self.unpark(at);
@@ -303,6 +364,9 @@ impl Inner {
         self.machine.thread_exit(p, reserved, committed);
         self.policy.on_exit(tid);
         let exit_time = self.machine.clock(p);
+        if let Some(tr) = self.trace.as_mut() {
+            tr.note_exit(tid.0, exit_time);
+        }
         let joiner = {
             let t = self.tcb(tid);
             t.state = TState::Exited;
@@ -376,7 +440,14 @@ pub fn run<T: 'static>(config: Config, f: impl FnOnce() -> T + 'static) -> (T, R
     }
     let peak = inner.threads.len();
     let steals = inner.policy.steals();
-    let trace = inner.trace.take();
+    let mut trace = inner.trace.take();
+    if let Some(tr) = trace.as_mut() {
+        // Fold the machine-level recording (memory events, exact counter
+        // tracks) into the trace before the machine is consumed.
+        if let Some(rec) = inner.machine.take_recording() {
+            tr.absorb_machine(rec);
+        }
+    }
     let stats = {
         let machine = std::mem::replace(
             &mut inner.machine,
@@ -535,6 +606,23 @@ fn engine_loop(inner_rc: &Rc<RefCell<Inner>>) {
                         // Migration: pay an extra switch for the cold start.
                         let c = inner.machine.cost().ctx_switch;
                         inner.machine.thread_op(p, c);
+                        if inner.trace.is_some() {
+                            let at = inner.machine.clock(p);
+                            let victim =
+                                inner.policy.last_steal_victim().map(|v| v as u32);
+                            let tr = inner.trace.as_mut().expect("checked");
+                            tr.event(at, p, Some(tid.0), EventKind::Steal { victim });
+                        }
+                    }
+                    if inner.trace.is_some() {
+                        let at = inner.machine.clock(p);
+                        let ready = inner.policy.ready_len() as u64;
+                        let deques = inner.policy.active_deques();
+                        let tr = inner.trace.as_mut().expect("checked");
+                        tr.sample_ready(at, ready);
+                        if let Some(d) = deques {
+                            tr.sample_active_deques(at, d as u64);
+                        }
                     }
                     (tid, false)
                 }
@@ -639,6 +727,11 @@ pub(crate) fn join_wait(target: ThreadId) {
             }
             let c = inner.machine.cost().join_exited;
             inner.machine.thread_op(p, c);
+            if inner.trace.is_some() {
+                let at = inner.machine.clock(p);
+                let tr = inner.trace.as_mut().expect("checked");
+                tr.event(at, p, Some(cur.0), EventKind::Join { target: target.0 });
+            }
             let payload = inner.threads[t].panic.take();
             drop(inner);
             if let Some(payload) = payload {
@@ -651,7 +744,7 @@ pub(crate) fn join_wait(target: ThreadId) {
             "two threads joining {target}"
         );
         inner.threads[t].joiner = Some(cur);
-        inner.block_current();
+        inner.block_current(BlockReason::Join);
         drop(inner);
         suspend_current(&rc, YieldReason::Blocked);
     }

@@ -98,7 +98,7 @@ impl<T> RwLock<T> {
         let rc = par_ctx().expect("contended rwlock outside a runtime would deadlock");
         let me = crate::api::current_thread().expect("read outside a thread");
         st.waiters.borrow_mut().push_back(Waiter::Reader(me));
-        rc.borrow_mut().block_current();
+        rc.borrow_mut().block_current(crate::trace::BlockReason::RwRead);
         suspend_current(&rc, YieldReason::Blocked);
         // Woken by release(): reader count already incremented on our behalf.
         debug_assert!(st.readers.get() > 0);
@@ -116,7 +116,7 @@ impl<T> RwLock<T> {
         let rc = par_ctx().expect("contended rwlock outside a runtime would deadlock");
         let me = crate::api::current_thread().expect("write outside a thread");
         st.waiters.borrow_mut().push_back(Waiter::Writer(me));
-        rc.borrow_mut().block_current();
+        rc.borrow_mut().block_current(crate::trace::BlockReason::RwWrite);
         suspend_current(&rc, YieldReason::Blocked);
         debug_assert!(st.writer.get());
         WriteGuard { lock: self }

@@ -101,6 +101,7 @@ pub(crate) struct DfDequesSched {
     own: Vec<Option<usize>>,
     ready: usize,
     steals: u64,
+    last_victim: Option<ProcId>,
     /// Lazy-deletion min-heap of deque fronts: (publish time, deque,
     /// stamp). An entry is valid iff the deque is live and the stamp
     /// matches; then the deque's front is a live item published at that
@@ -120,6 +121,7 @@ impl DfDequesSched {
             own: vec![None; procs],
             ready: 0,
             steals: 0,
+            last_victim: None,
             fronts: BinaryHeap::new(),
             next_stamp: 0,
         };
@@ -413,6 +415,7 @@ impl Policy for DfDequesSched {
                             .front()
                             .is_some_and(|it| it.at <= now)
                     {
+                        self.last_victim = self.deques[cur].owner;
                         let tid = self.steal_front(cur);
                         // Abandon our empty deque and start a new one at the
                         // victim's left: the stolen thread is serially
@@ -448,6 +451,21 @@ impl Policy for DfDequesSched {
 
     fn ready_len(&self) -> usize {
         self.ready
+    }
+
+    fn last_steal_victim(&self) -> Option<ProcId> {
+        self.last_victim
+    }
+
+    fn active_deques(&self) -> Option<usize> {
+        // Exclude the two order-list sentinels.
+        Some(
+            self.deques
+                .iter()
+                .filter(|d| d.live)
+                .count()
+                .saturating_sub(2),
+        )
     }
 }
 

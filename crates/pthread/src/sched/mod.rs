@@ -114,6 +114,19 @@ pub(crate) trait Policy {
     fn steals(&self) -> u64 {
         0
     }
+
+    /// Processor the most recent successful steal took its thread from
+    /// (flight-recorder provenance; `None` for non-stealing policies or
+    /// when the victim deque was orphaned).
+    fn last_steal_victim(&self) -> Option<ProcId> {
+        None
+    }
+
+    /// Current number of live deques, for policies organized around deques
+    /// (`None` for the single-queue policies).
+    fn active_deques(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// Instantiates the policy selected by `config`.

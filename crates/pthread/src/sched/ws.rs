@@ -26,6 +26,7 @@ pub(crate) struct WsSched {
     rng: u64,
     ready: usize,
     steals: u64,
+    last_victim: Option<ProcId>,
 }
 
 impl WsSched {
@@ -35,6 +36,7 @@ impl WsSched {
             rng: seed | 1,
             ready: 0,
             steals: 0,
+            last_victim: None,
         }
     }
 
@@ -120,6 +122,7 @@ impl Policy for WsSched {
                 let (tid, _) = self.deques[v].remove(pos).expect("position valid");
                 self.ready -= 1;
                 self.steals += 1;
+                self.last_victim = Some(v);
                 return Pop::Got { tid, stolen: true };
             }
             for &(_, at) in self.deques[v].iter() {
@@ -138,6 +141,14 @@ impl Policy for WsSched {
 
     fn steals(&self) -> u64 {
         self.steals
+    }
+
+    fn last_steal_victim(&self) -> Option<ProcId> {
+        self.last_victim
+    }
+
+    fn active_deques(&self) -> Option<usize> {
+        Some(self.deques.iter().filter(|d| !d.is_empty()).count())
     }
 }
 

@@ -114,7 +114,7 @@ impl<T> Mutex<T> {
                         );
                         st.waiters.borrow_mut().push_back(me);
                         let mut inner = rc.borrow_mut();
-                        inner.block_current();
+                        inner.block_current(crate::trace::BlockReason::Mutex);
                         true
                     }
                 };
@@ -229,7 +229,7 @@ impl Condvar {
             let me = crate::api::current_thread().expect("wait outside a thread");
             self.waiters.borrow_mut().push_back(me);
             let mut inner = rc.borrow_mut();
-            inner.block_current();
+            inner.block_current(crate::trace::BlockReason::Condvar);
         }
         drop(guard); // releases the mutex (may hand it to a lock waiter)
         suspend_current(&rc, YieldReason::Blocked);
@@ -320,7 +320,7 @@ impl Semaphore {
                         let me = crate::api::current_thread().expect("acquire outside a thread");
                         self.state.waiters.borrow_mut().push_back(me);
                         let mut inner = rc.borrow_mut();
-                        inner.block_current();
+                        inner.block_current(crate::trace::BlockReason::Semaphore);
                         true
                     }
                 };
@@ -420,7 +420,7 @@ impl Barrier {
                 let me = crate::api::current_thread().expect("barrier outside a thread");
                 self.state.waiters.borrow_mut().push(me);
                 let mut inner = rc.borrow_mut();
-                inner.block_current();
+                inner.block_current(crate::trace::BlockReason::Barrier);
             }
             suspend_current(&rc, YieldReason::Blocked);
             false

@@ -116,6 +116,9 @@ pub(crate) struct Tcb {
     /// Virtual time at which the thread last blocked (wake happens-before
     /// edge: a wake may not resume it earlier than its own suspension).
     pub blocked_at: ptdf_smp::VirtTime,
+    /// Virtual time at which the thread last became ready (flight-recorder
+    /// ready-wait accounting).
+    pub ready_since: ptdf_smp::VirtTime,
 }
 
 impl Tcb {
@@ -137,6 +140,7 @@ impl Tcb {
             dummy_remaining: 0,
             exit_time: ptdf_smp::VirtTime::ZERO,
             blocked_at: ptdf_smp::VirtTime::ZERO,
+            ready_since: ptdf_smp::VirtTime::ZERO,
         }
     }
 }

@@ -1,12 +1,34 @@
-//! Execution tracing: per-dispatch records of what ran where on the virtual
-//! timeline, exportable as a Chrome trace (`chrome://tracing`, Perfetto) for
-//! visual inspection of scheduler behaviour.
+//! The flight recorder: execution spans, structured scheduler/memory
+//! events, exactly-sampled counter tracks, and per-thread lifecycle
+//! metrics, exportable as a Chrome/Perfetto trace.
 //!
 //! Enable with [`crate::Config::with_trace`]; the trace comes back on the
-//! run's [`crate::Report`].
+//! run's [`crate::Report`]. Everything is on the **virtual** timeline:
+//!
+//! * **Spans** ([`Span`]) — one per scheduling quantum, as before.
+//! * **Events** ([`Event`]) — spawn, first dispatch, block/wake (with the
+//!   blocking primitive as the reason), join, steal (victim → thief),
+//!   dummy-thread insertion, quota preemption, stack reserve/release, and
+//!   heap allocs/frees above [`crate::Config::trace_alloc_threshold`].
+//! * **Counter tracks** ([`Counters`]) — committed footprint (the paper's
+//!   Figure 9 curve), live threads, ready-queue length, active deque count
+//!   (deque policies), and cumulative scheduler-lock wait. The footprint
+//!   and live-thread tracks are sampled inside the machine at every change,
+//!   so their maxima equal the reported high-water marks **bit-for-bit**.
+//! * **Lifecycle** ([`ThreadLifecycle`]) — per thread: spawn → first
+//!   dispatch latency, total ready-wait, quantum count, exit time;
+//!   aggregated into percentile summaries by [`Trace::lifecycle`].
+//!
+//! The Chrome export ([`Trace::to_chrome_json`]) writes spans as `"ph":"X"`
+//! duration records, events as `"ph":"i"` instants and counters as
+//! `"ph":"C"` counter records; exact nanosecond payloads ride along in
+//! `args`, which is what makes [`Trace::from_chrome_json`] a lossless
+//! round trip (asserted in tests). The `ptdf-trace` CLI consumes this
+//! format to summarize, validate, and diff traces.
 
+use crate::json::{obj, Value};
 use crate::thread::ThreadId;
-use ptdf_smp::{ProcId, VirtTime};
+use ptdf_smp::{MachineRecording, MemEventKind, ProcId, VirtTime};
 
 /// What a trace span represents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
@@ -19,8 +41,27 @@ pub enum SpanKind {
     Resume,
 }
 
+impl SpanKind {
+    fn name(self) -> &'static str {
+        match self {
+            SpanKind::Run => "run",
+            SpanKind::Dummy => "dummy",
+            SpanKind::Resume => "resume",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<SpanKind> {
+        Some(match s {
+            "run" => SpanKind::Run,
+            "dummy" => SpanKind::Dummy,
+            "resume" => SpanKind::Resume,
+            _ => return None,
+        })
+    }
+}
+
 /// One execution span on a virtual processor.
-#[derive(Debug, Clone, Copy, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
 pub struct Span {
     /// Virtual processor.
     pub proc: ProcId,
@@ -34,14 +75,290 @@ pub struct Span {
     pub kind: SpanKind,
 }
 
-/// A recorded execution trace.
-#[derive(Debug, Clone, Default, serde::Serialize)]
+/// Which primitive a thread blocked on (the "reason" of a block event).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum BlockReason {
+    /// `JoinHandle::join` on a still-running thread.
+    Join,
+    /// [`crate::Mutex`] contention.
+    Mutex,
+    /// [`crate::Condvar::wait`].
+    Condvar,
+    /// [`crate::Semaphore::acquire`] with no permit.
+    Semaphore,
+    /// [`crate::Barrier::wait`] before the last arriver.
+    Barrier,
+    /// [`crate::RwLock`] read side.
+    RwRead,
+    /// [`crate::RwLock`] write side.
+    RwWrite,
+}
+
+impl BlockReason {
+    fn name(self) -> &'static str {
+        match self {
+            BlockReason::Join => "join",
+            BlockReason::Mutex => "mutex",
+            BlockReason::Condvar => "condvar",
+            BlockReason::Semaphore => "semaphore",
+            BlockReason::Barrier => "barrier",
+            BlockReason::RwRead => "rw-read",
+            BlockReason::RwWrite => "rw-write",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<BlockReason> {
+        Some(match s {
+            "join" => BlockReason::Join,
+            "mutex" => BlockReason::Mutex,
+            "condvar" => BlockReason::Condvar,
+            "semaphore" => BlockReason::Semaphore,
+            "barrier" => BlockReason::Barrier,
+            "rw-read" => BlockReason::RwRead,
+            "rw-write" => BlockReason::RwWrite,
+            _ => return None,
+        })
+    }
+}
+
+/// A structured scheduler or memory event.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub enum EventKind {
+    /// A thread was created.
+    Spawn {
+        /// The forking thread, if any (`None` for the root).
+        parent: Option<u32>,
+    },
+    /// A thread ran for the first time (stack committed, latency endpoint).
+    FirstDispatch,
+    /// A thread blocked on a primitive.
+    Block {
+        /// Which primitive.
+        reason: BlockReason,
+    },
+    /// A blocked thread was made ready.
+    Wake,
+    /// A join completed (the joiner observed the target's exit).
+    Join {
+        /// The joined (exited) thread.
+        target: u32,
+    },
+    /// A work migration: the event's processor stole the event's thread.
+    Steal {
+        /// Processor the thread was stolen from, when the policy knows it.
+        victim: Option<u32>,
+    },
+    /// The DF allocation hook inserted dummy throttle threads.
+    DummyInsert {
+        /// Number of dummies (δ = ⌈bytes/K⌉).
+        count: u64,
+    },
+    /// Memory-quota preemption (DF policies).
+    Preempt,
+    /// Thread stack reserved (at creation).
+    StackReserve {
+        /// Reserved bytes.
+        bytes: u64,
+    },
+    /// Thread stack released (at exit).
+    StackRelease {
+        /// Released bytes.
+        bytes: u64,
+    },
+    /// Heap allocation at or above the configured threshold.
+    Alloc {
+        /// Allocation size.
+        bytes: u64,
+    },
+    /// Heap free at or above the configured threshold.
+    Free {
+        /// Freed size.
+        bytes: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable event-kind name (used in the Chrome export and summaries).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Spawn { .. } => "spawn",
+            EventKind::FirstDispatch => "first-dispatch",
+            EventKind::Block { .. } => "block",
+            EventKind::Wake => "wake",
+            EventKind::Join { .. } => "join",
+            EventKind::Steal { .. } => "steal",
+            EventKind::DummyInsert { .. } => "dummy-insert",
+            EventKind::Preempt => "preempt",
+            EventKind::StackReserve { .. } => "stack-reserve",
+            EventKind::StackRelease { .. } => "stack-release",
+            EventKind::Alloc { .. } => "alloc",
+            EventKind::Free { .. } => "free",
+        }
+    }
+}
+
+/// One event on the virtual timeline.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct Event {
+    /// Virtual time of the event.
+    pub at: VirtTime,
+    /// Acting processor.
+    pub proc: ProcId,
+    /// Subject thread, when known (machine-level memory events have none).
+    pub thread: Option<u32>,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Counter tracks: `(virtual time, value)` samples.
+///
+/// `footprint`, `live_threads` and `sched_lock_wait` are sampled inside the
+/// machine at every change (see `ptdf_smp::MachineRecording`), so
+/// `max(footprint) == MemStats::footprint_hwm` and `max(live_threads) ==
+/// MemStats::live_threads_hwm` exactly. `ready` and `active_deques` are
+/// sampled at every dispatch.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
+pub struct Counters {
+    /// Committed footprint in bytes (the paper's Figure 9 curve).
+    pub footprint: Vec<(VirtTime, u64)>,
+    /// Live (created, not exited) threads.
+    pub live_threads: Vec<(VirtTime, u64)>,
+    /// Schedulable entries in the policy's ready set.
+    pub ready: Vec<(VirtTime, u64)>,
+    /// Live deques (deque policies only; empty for the serialized ones).
+    pub active_deques: Vec<(VirtTime, u64)>,
+    /// Cumulative scheduler-lock contention wait in nanoseconds.
+    pub sched_lock_wait: Vec<(VirtTime, u64)>,
+}
+
+/// Per-thread lifecycle record.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct ThreadLifecycle {
+    /// Thread id.
+    pub thread: u32,
+    /// Creation time.
+    pub spawned: VirtTime,
+    /// First dispatch time (`None` if never dispatched).
+    pub first_dispatch: Option<VirtTime>,
+    /// Total time spent ready-but-not-running.
+    pub ready_wait: VirtTime,
+    /// Scheduling quanta received (full dispatches, not resumes).
+    pub quanta: u64,
+    /// Exit time (`None` if still live at trace capture).
+    pub exited: Option<VirtTime>,
+}
+
+impl ThreadLifecycle {
+    fn new(thread: u32, spawned: VirtTime) -> Self {
+        ThreadLifecycle {
+            thread,
+            spawned,
+            first_dispatch: None,
+            ready_wait: VirtTime::ZERO,
+            quanta: 0,
+            exited: None,
+        }
+    }
+}
+
+/// Configuration echo carried by a trace so tools can interpret it
+/// standalone.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
+pub struct TraceMeta {
+    /// Scheduler name (`"df"`, `"fifo"`, ...).
+    pub scheduler: String,
+    /// Virtual processor count.
+    pub processors: usize,
+    /// Default accounted stack size in bytes.
+    pub default_stack: u64,
+    /// DF memory quota `K`, for the quota-carrying policies.
+    pub quota: Option<u64>,
+}
+
+/// A recorded flight-recorder trace.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
 pub struct Trace {
+    /// Run configuration echo.
+    pub meta: TraceMeta,
     /// All spans, in engine (real-time) order.
     pub spans: Vec<Span>,
+    /// All events, sorted by virtual time (stable) once the run completes.
+    pub events: Vec<Event>,
+    /// Counter tracks.
+    pub counters: Counters,
+    /// Per-thread lifecycle records, indexed by thread id.
+    pub threads: Vec<ThreadLifecycle>,
+}
+
+/// Percentiles and a log₂ histogram over one latency population.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
+pub struct LatencyStats {
+    /// Sample count.
+    pub count: u64,
+    /// Median.
+    pub p50: VirtTime,
+    /// 90th percentile.
+    pub p90: VirtTime,
+    /// 99th percentile.
+    pub p99: VirtTime,
+    /// Maximum.
+    pub max: VirtTime,
+    /// `hist_log2[0]` counts zero-valued samples; `hist_log2[i]` (i ≥ 1)
+    /// counts samples in `[2^(i-1), 2^i)` nanoseconds.
+    pub hist_log2: Vec<u64>,
+}
+
+impl LatencyStats {
+    fn from_ns(mut samples: Vec<u64>) -> Self {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        samples.sort_unstable();
+        let n = samples.len();
+        let pct = |q: f64| {
+            let idx = ((n - 1) as f64 * q).round() as usize;
+            VirtTime::from_ns(samples[idx])
+        };
+        let mut hist = Vec::new();
+        for &s in &samples {
+            let bucket = if s == 0 { 0 } else { 64 - s.leading_zeros() as usize };
+            if hist.len() <= bucket {
+                hist.resize(bucket + 1, 0);
+            }
+            hist[bucket] += 1;
+        }
+        LatencyStats {
+            count: n as u64,
+            p50: pct(0.50),
+            p90: pct(0.90),
+            p99: pct(0.99),
+            max: VirtTime::from_ns(samples[n - 1]),
+            hist_log2: hist,
+        }
+    }
+}
+
+/// Aggregated per-thread lifecycle metrics (see [`Trace::lifecycle`]).
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
+pub struct LifecycleSummary {
+    /// Threads with a lifecycle record.
+    pub threads: u64,
+    /// Total scheduling quanta across all threads (== total dispatches).
+    pub total_quanta: u64,
+    /// Spawn → first-dispatch latency, over dispatched threads.
+    pub dispatch_latency: LatencyStats,
+    /// Total ready-wait per thread, over all threads.
+    pub ready_wait: LatencyStats,
 }
 
 impl Trace {
+    pub(crate) fn new(meta: TraceMeta) -> Self {
+        Trace {
+            meta,
+            ..Trace::default()
+        }
+    }
+
     pub(crate) fn record(
         &mut self,
         proc: ProcId,
@@ -57,6 +374,101 @@ impl Trace {
             end,
             kind,
         });
+    }
+
+    fn lifecycle_mut(&mut self, thread: u32, spawned_hint: VirtTime) -> &mut ThreadLifecycle {
+        let idx = thread as usize;
+        while self.threads.len() <= idx {
+            let t = self.threads.len() as u32;
+            self.threads.push(ThreadLifecycle::new(t, spawned_hint));
+        }
+        &mut self.threads[idx]
+    }
+
+    /// Records an event, maintaining the lifecycle records for the
+    /// lifecycle-bearing kinds.
+    pub(crate) fn event(&mut self, at: VirtTime, proc: ProcId, thread: Option<u32>, kind: EventKind) {
+        if let Some(t) = thread {
+            match kind {
+                EventKind::Spawn { .. } => {
+                    self.lifecycle_mut(t, at).spawned = at;
+                }
+                EventKind::FirstDispatch => {
+                    let lc = self.lifecycle_mut(t, at);
+                    if lc.first_dispatch.is_none() {
+                        lc.first_dispatch = Some(at);
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.events.push(Event {
+            at,
+            proc,
+            thread,
+            kind,
+        });
+    }
+
+    /// Counts one scheduling quantum for `thread`.
+    pub(crate) fn note_quantum(&mut self, thread: u32, at: VirtTime) {
+        self.lifecycle_mut(thread, at).quanta += 1;
+    }
+
+    /// Accrues ready-but-not-running wait for `thread`.
+    pub(crate) fn add_ready_wait(&mut self, thread: u32, wait: VirtTime) {
+        self.lifecycle_mut(thread, VirtTime::ZERO).ready_wait += wait;
+    }
+
+    /// Marks `thread` exited at `at`.
+    pub(crate) fn note_exit(&mut self, thread: u32, at: VirtTime) {
+        self.lifecycle_mut(thread, at).exited = Some(at);
+    }
+
+    /// Samples the ready-set size (deduplicating unchanged values).
+    pub(crate) fn sample_ready(&mut self, at: VirtTime, len: u64) {
+        if self.counters.ready.last().map(|&(_, v)| v) != Some(len) {
+            self.counters.ready.push((at, len));
+        }
+    }
+
+    /// Samples the active-deque count (deduplicating unchanged values).
+    pub(crate) fn sample_active_deques(&mut self, at: VirtTime, n: u64) {
+        if self.counters.active_deques.last().map(|&(_, v)| v) != Some(n) {
+            self.counters.active_deques.push((at, n));
+        }
+    }
+
+    /// Merges the machine-level recording (memory events, exactly-sampled
+    /// footprint/live-thread/lock-wait tracks) and sorts the merged event
+    /// stream by virtual time. Called once at end of run.
+    pub(crate) fn absorb_machine(&mut self, rec: MachineRecording) {
+        for e in rec.events {
+            let kind = match e.kind {
+                MemEventKind::Alloc { bytes } => EventKind::Alloc { bytes },
+                MemEventKind::Free { bytes } => EventKind::Free { bytes },
+                MemEventKind::StackReserve { bytes } => EventKind::StackReserve { bytes },
+                MemEventKind::StackRelease { bytes } => EventKind::StackRelease { bytes },
+            };
+            self.events.push(Event {
+                at: e.at,
+                proc: e.proc,
+                thread: None,
+                kind,
+            });
+        }
+        self.counters.footprint = rec.footprint;
+        self.counters.live_threads = rec.live_threads;
+        self.counters.sched_lock_wait = rec.sched_lock_wait;
+        // Machine samples and runtime events arrive in engine (real-time)
+        // order; processors' clocks interleave, so sort everything onto the
+        // virtual timeline (stably: ties keep engine order).
+        self.counters.footprint.sort_by_key(|&(at, _)| at);
+        self.counters.live_threads.sort_by_key(|&(at, _)| at);
+        self.counters.sched_lock_wait.sort_by_key(|&(at, _)| at);
+        self.counters.ready.sort_by_key(|&(at, _)| at);
+        self.counters.active_deques.sort_by_key(|&(at, _)| at);
+        self.events.sort_by_key(|e| e.at);
     }
 
     /// Number of recorded spans.
@@ -80,50 +492,373 @@ impl Trace {
         busy
     }
 
-    /// Serializes to the Chrome trace-event JSON array format (timestamps
-    /// in microseconds), loadable in `chrome://tracing` or Perfetto.
+    /// High-water committed footprint implied by the footprint track
+    /// (equals `MemStats::footprint_hwm` exactly; 0 without counters).
+    pub fn footprint_hwm(&self) -> u64 {
+        self.counters.footprint.iter().map(|&(_, v)| v).max().unwrap_or(0)
+    }
+
+    /// Peak live threads implied by the live-thread track (equals
+    /// `MemStats::live_threads_hwm` exactly; 0 without counters).
+    pub fn max_live_threads(&self) -> u64 {
+        self.counters.live_threads.iter().map(|&(_, v)| v).max().unwrap_or(0)
+    }
+
+    /// Event counts per kind name, sorted by name.
+    pub fn event_kind_counts(&self) -> Vec<(&'static str, u64)> {
+        let mut counts: Vec<(&'static str, u64)> = Vec::new();
+        for e in &self.events {
+            let name = e.kind.name();
+            match counts.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((name, 1)),
+            }
+        }
+        counts.sort_by_key(|&(n, _)| n);
+        counts
+    }
+
+    /// Aggregates the per-thread lifecycle records into percentile
+    /// summaries.
+    pub fn lifecycle(&self) -> LifecycleSummary {
+        let mut latency = Vec::new();
+        let mut waits = Vec::new();
+        let mut total_quanta = 0;
+        for t in &self.threads {
+            total_quanta += t.quanta;
+            if let Some(fd) = t.first_dispatch {
+                latency.push(fd.since(t.spawned).as_ns());
+            }
+            waits.push(t.ready_wait.as_ns());
+        }
+        LifecycleSummary {
+            threads: self.threads.len() as u64,
+            total_quanta,
+            dispatch_latency: LatencyStats::from_ns(latency),
+            ready_wait: LatencyStats::from_ns(waits),
+        }
+    }
+
+    /// Sanity check: spans on the same processor must not overlap in
+    /// virtual time. Returns the first violating pair (in `(proc, start)`
+    /// order), if any. One sort + one linear pass.
+    pub fn find_overlap(&self) -> Option<(Span, Span)> {
+        let mut sorted = self.spans.clone();
+        sorted.sort_by_key(|s| (s.proc, s.start));
+        sorted
+            .windows(2)
+            .find(|w| w[0].proc == w[1].proc && w[1].start < w[0].end)
+            .map(|w| (w[0], w[1]))
+    }
+
+    /// Structural validation: span sanity and no-overlap, globally sorted
+    /// events, monotone counter tracks, and lifecycle ordering
+    /// (spawn ≤ first dispatch ≤ exit; dispatched threads have quanta).
+    pub fn validate(&self) -> Result<(), String> {
+        for s in &self.spans {
+            if s.end < s.start {
+                return Err(format!("span t{} on proc {} ends before it starts", s.thread, s.proc));
+            }
+        }
+        if let Some((a, b)) = self.find_overlap() {
+            return Err(format!(
+                "overlap on proc {}: t{} [{}, {}) and t{} [{}, {})",
+                a.proc, a.thread, a.start, a.end, b.thread, b.start, b.end
+            ));
+        }
+        if let Some(w) = self.events.windows(2).find(|w| w[1].at < w[0].at) {
+            return Err(format!(
+                "events out of order: {} at {} after {} at {}",
+                w[1].kind.name(),
+                w[1].at,
+                w[0].kind.name(),
+                w[0].at
+            ));
+        }
+        for (name, track) in [
+            ("footprint", &self.counters.footprint),
+            ("live-threads", &self.counters.live_threads),
+            ("ready", &self.counters.ready),
+            ("active-deques", &self.counters.active_deques),
+            ("sched-lock-wait", &self.counters.sched_lock_wait),
+        ] {
+            if track.windows(2).any(|w| w[1].0 < w[0].0) {
+                return Err(format!("counter track {name} has out-of-order samples"));
+            }
+        }
+        for t in &self.threads {
+            if let Some(fd) = t.first_dispatch {
+                if fd < t.spawned {
+                    return Err(format!("t{} dispatched before spawn", t.thread));
+                }
+                if t.quanta == 0 {
+                    return Err(format!("t{} dispatched but has zero quanta", t.thread));
+                }
+                if let Some(ex) = t.exited {
+                    if ex < fd {
+                        return Err(format!("t{} exited before first dispatch", t.thread));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes to Chrome trace-event JSON (object form), loadable in
+    /// `chrome://tracing` and Perfetto: spans as `"ph":"X"` durations,
+    /// events as `"ph":"i"` instants, counters as `"ph":"C"` records
+    /// (timestamps in microseconds). Exact nanosecond values ride in
+    /// `args`, making [`Trace::from_chrome_json`] lossless.
     pub fn to_chrome_json(&self) -> String {
-        let mut out = String::from("[\n");
-        for (i, s) in self.spans.iter().enumerate() {
+        let us = |t: VirtTime| Value::Float(t.as_ns() as f64 / 1e3);
+        let mut records = Vec::new();
+        for s in &self.spans {
             let name = match s.kind {
                 SpanKind::Run => format!("t{}", s.thread),
                 SpanKind::Dummy => format!("dummy t{}", s.thread),
                 SpanKind::Resume => format!("t{} (resume)", s.thread),
             };
-            let ts = s.start.as_ns() as f64 / 1e3;
-            let dur = s.end.since(s.start).as_ns() as f64 / 1e3;
-            out.push_str(&format!(
-                "  {{\"name\": \"{name}\", \"ph\": \"X\", \"pid\": 0, \"tid\": {}, \
-                 \"ts\": {ts:.3}, \"dur\": {dur:.3}}}{}\n",
-                s.proc,
-                if i + 1 == self.spans.len() { "" } else { "," }
-            ));
+            records.push(obj(vec![
+                ("name", Value::Str(name)),
+                ("ph", Value::Str("X".into())),
+                ("pid", Value::UInt(0)),
+                ("tid", Value::UInt(s.proc as u64)),
+                ("ts", us(s.start)),
+                ("dur", us(s.end.since(s.start))),
+                (
+                    "args",
+                    obj(vec![
+                        ("thread", Value::UInt(s.thread as u64)),
+                        ("kind", Value::Str(s.kind.name().into())),
+                        ("startNs", Value::UInt(s.start.as_ns())),
+                        ("endNs", Value::UInt(s.end.as_ns())),
+                    ]),
+                ),
+            ]));
         }
-        out.push(']');
-        out
-    }
-
-    /// Sanity check: spans on the same processor must not overlap in
-    /// virtual time. Returns the first violating pair, if any.
-    pub fn find_overlap(&self) -> Option<(Span, Span)> {
-        let mut per_proc: std::collections::HashMap<ProcId, Vec<Span>> = Default::default();
-        for s in &self.spans {
-            per_proc.entry(s.proc).or_default().push(*s);
-        }
-        for spans in per_proc.values_mut() {
-            spans.sort_by_key(|s| s.start);
-            for w in spans.windows(2) {
-                if w[1].start < w[0].end {
-                    return Some((w[0], w[1]));
+        for e in &self.events {
+            let mut args = vec![
+                ("ns", Value::UInt(e.at.as_ns())),
+                (
+                    "thread",
+                    e.thread.map_or(Value::Null, |t| Value::UInt(t as u64)),
+                ),
+            ];
+            match e.kind {
+                EventKind::Spawn { parent } => args.push((
+                    "parent",
+                    parent.map_or(Value::Null, |p| Value::UInt(p as u64)),
+                )),
+                EventKind::Block { reason } => {
+                    args.push(("reason", Value::Str(reason.name().into())))
                 }
+                EventKind::Join { target } => args.push(("target", Value::UInt(target as u64))),
+                EventKind::Steal { victim } => args.push((
+                    "victim",
+                    victim.map_or(Value::Null, |v| Value::UInt(v as u64)),
+                )),
+                EventKind::DummyInsert { count } => args.push(("count", Value::UInt(count))),
+                EventKind::StackReserve { bytes }
+                | EventKind::StackRelease { bytes }
+                | EventKind::Alloc { bytes }
+                | EventKind::Free { bytes } => args.push(("bytes", Value::UInt(bytes))),
+                EventKind::FirstDispatch | EventKind::Wake | EventKind::Preempt => {}
+            }
+            records.push(obj(vec![
+                ("name", Value::Str(e.kind.name().into())),
+                ("ph", Value::Str("i".into())),
+                ("s", Value::Str("t".into())),
+                ("pid", Value::UInt(0)),
+                ("tid", Value::UInt(e.proc as u64)),
+                ("ts", us(e.at)),
+                ("args", obj(args)),
+            ]));
+        }
+        for (name, unit, track) in [
+            ("footprint", "bytes", &self.counters.footprint),
+            ("live-threads", "threads", &self.counters.live_threads),
+            ("ready", "entries", &self.counters.ready),
+            ("active-deques", "deques", &self.counters.active_deques),
+            ("sched-lock-wait", "waitNs", &self.counters.sched_lock_wait),
+        ] {
+            for &(at, v) in track {
+                records.push(obj(vec![
+                    ("name", Value::Str(name.into())),
+                    ("ph", Value::Str("C".into())),
+                    ("pid", Value::UInt(0)),
+                    ("ts", us(at)),
+                    (
+                        "args",
+                        obj(vec![(unit, Value::UInt(v)), ("ns", Value::UInt(at.as_ns()))]),
+                    ),
+                ]));
             }
         }
-        None
+        let threads = self
+            .threads
+            .iter()
+            .map(|t| {
+                obj(vec![
+                    ("thread", Value::UInt(t.thread as u64)),
+                    ("spawnedNs", Value::UInt(t.spawned.as_ns())),
+                    (
+                        "firstDispatchNs",
+                        t.first_dispatch
+                            .map_or(Value::Null, |v| Value::UInt(v.as_ns())),
+                    ),
+                    ("readyWaitNs", Value::UInt(t.ready_wait.as_ns())),
+                    ("quanta", Value::UInt(t.quanta)),
+                    (
+                        "exitedNs",
+                        t.exited.map_or(Value::Null, |v| Value::UInt(v.as_ns())),
+                    ),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("traceEvents", Value::Arr(records)),
+            (
+                "otherData",
+                obj(vec![
+                    ("scheduler", Value::Str(self.meta.scheduler.clone())),
+                    ("processors", Value::UInt(self.meta.processors as u64)),
+                    ("defaultStack", Value::UInt(self.meta.default_stack)),
+                    (
+                        "quota",
+                        self.meta.quota.map_or(Value::Null, Value::UInt),
+                    ),
+                ]),
+            ),
+            ("ptdfThreads", Value::Arr(threads)),
+        ])
+        .to_json()
+    }
+
+    /// Parses a trace back from [`Trace::to_chrome_json`] output. Exact:
+    /// the result compares equal to the original trace.
+    pub fn from_chrome_json(text: &str) -> Result<Trace, String> {
+        let doc = Value::parse(text)?;
+        let mut trace = Trace::default();
+        if let Some(meta) = doc.get("otherData") {
+            trace.meta = TraceMeta {
+                scheduler: meta
+                    .get("scheduler")
+                    .and_then(Value::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+                processors: meta
+                    .get("processors")
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0) as usize,
+                default_stack: meta
+                    .get("defaultStack")
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0),
+                quota: meta.get("quota").and_then(Value::as_u64),
+            };
+        }
+        let records = doc
+            .get("traceEvents")
+            .and_then(Value::as_arr)
+            .ok_or("missing traceEvents array")?;
+        for r in records {
+            let ph = r.get("ph").and_then(Value::as_str).ok_or("record without ph")?;
+            let name = r.get("name").and_then(Value::as_str).unwrap_or("");
+            let args = r.get("args");
+            let arg_u64 = |key: &str| args.and_then(|a| a.get(key)).and_then(Value::as_u64);
+            let arg_str =
+                |key: &str| args.and_then(|a| a.get(key)).and_then(Value::as_str);
+            match ph {
+                "X" => {
+                    let kind = arg_str("kind")
+                        .and_then(SpanKind::from_name)
+                        .ok_or("span without kind")?;
+                    trace.spans.push(Span {
+                        proc: r.get("tid").and_then(Value::as_u64).unwrap_or(0) as usize,
+                        thread: arg_u64("thread").ok_or("span without thread")? as u32,
+                        start: VirtTime::from_ns(arg_u64("startNs").ok_or("span without startNs")?),
+                        end: VirtTime::from_ns(arg_u64("endNs").ok_or("span without endNs")?),
+                        kind,
+                    });
+                }
+                "i" => {
+                    let kind = match name {
+                        "spawn" => EventKind::Spawn {
+                            parent: arg_u64("parent").map(|v| v as u32),
+                        },
+                        "first-dispatch" => EventKind::FirstDispatch,
+                        "block" => EventKind::Block {
+                            reason: arg_str("reason")
+                                .and_then(BlockReason::from_name)
+                                .ok_or("block without reason")?,
+                        },
+                        "wake" => EventKind::Wake,
+                        "join" => EventKind::Join {
+                            target: arg_u64("target").ok_or("join without target")? as u32,
+                        },
+                        "steal" => EventKind::Steal {
+                            victim: arg_u64("victim").map(|v| v as u32),
+                        },
+                        "dummy-insert" => EventKind::DummyInsert {
+                            count: arg_u64("count").ok_or("dummy-insert without count")?,
+                        },
+                        "preempt" => EventKind::Preempt,
+                        "stack-reserve" => EventKind::StackReserve {
+                            bytes: arg_u64("bytes").ok_or("stack-reserve without bytes")?,
+                        },
+                        "stack-release" => EventKind::StackRelease {
+                            bytes: arg_u64("bytes").ok_or("stack-release without bytes")?,
+                        },
+                        "alloc" => EventKind::Alloc {
+                            bytes: arg_u64("bytes").ok_or("alloc without bytes")?,
+                        },
+                        "free" => EventKind::Free {
+                            bytes: arg_u64("bytes").ok_or("free without bytes")?,
+                        },
+                        other => return Err(format!("unknown instant event {other:?}")),
+                    };
+                    trace.events.push(Event {
+                        at: VirtTime::from_ns(arg_u64("ns").ok_or("event without ns")?),
+                        proc: r.get("tid").and_then(Value::as_u64).unwrap_or(0) as usize,
+                        thread: arg_u64("thread").map(|v| v as u32),
+                        kind,
+                    });
+                }
+                "C" => {
+                    let at = VirtTime::from_ns(arg_u64("ns").ok_or("counter without ns")?);
+                    let (track, unit) = match name {
+                        "footprint" => (&mut trace.counters.footprint, "bytes"),
+                        "live-threads" => (&mut trace.counters.live_threads, "threads"),
+                        "ready" => (&mut trace.counters.ready, "entries"),
+                        "active-deques" => (&mut trace.counters.active_deques, "deques"),
+                        "sched-lock-wait" => (&mut trace.counters.sched_lock_wait, "waitNs"),
+                        other => return Err(format!("unknown counter {other:?}")),
+                    };
+                    track.push((at, arg_u64(unit).ok_or("counter without value")?));
+                }
+                other => return Err(format!("unknown phase {other:?}")),
+            }
+        }
+        if let Some(threads) = doc.get("ptdfThreads").and_then(Value::as_arr) {
+            for t in threads {
+                let u = |key: &str| t.get(key).and_then(Value::as_u64);
+                trace.threads.push(ThreadLifecycle {
+                    thread: u("thread").ok_or("lifecycle without thread")? as u32,
+                    spawned: VirtTime::from_ns(u("spawnedNs").ok_or("lifecycle without spawnedNs")?),
+                    first_dispatch: u("firstDispatchNs").map(VirtTime::from_ns),
+                    ready_wait: VirtTime::from_ns(u("readyWaitNs").unwrap_or(0)),
+                    quanta: u("quanta").unwrap_or(0),
+                    exited: u("exitedNs").map(VirtTime::from_ns),
+                });
+            }
+        }
+        Ok(trace)
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
     use crate::{run, scope, Config, SchedKind};
 
     #[test]
@@ -156,29 +891,177 @@ mod tests {
                 stat_busy
             );
         }
+        trace.validate().expect("structurally valid trace");
     }
 
     #[test]
-    fn chrome_json_is_well_formed() {
-        let cfg = Config::new(2, SchedKind::Fifo).with_trace();
+    fn chrome_json_round_trips_exactly() {
+        let cfg = Config::new(2, SchedKind::Df).with_trace().with_quota(2048);
         let (_, report) = run(cfg, || {
-            let h = crate::spawn(|| crate::work(5000));
+            let h = crate::spawn(|| {
+                crate::rt_alloc(64 * 1024); // forces dummies + preemption
+                crate::work(5000);
+                crate::rt_free(64 * 1024);
+            });
             h.join();
         });
-        let json = report.trace.unwrap().to_chrome_json();
-        assert!(json.starts_with('['));
-        assert!(json.ends_with(']'));
-        assert!(json.contains("\"ph\": \"X\""));
-        // Balanced braces.
-        assert_eq!(
-            json.matches('{').count(),
-            json.matches('}').count()
-        );
+        let trace = report.trace.unwrap();
+        let json = trace.to_chrome_json();
+        // Well-formed JSON (full parse, not brace counting).
+        let doc = Value::parse(&json).expect("well-formed JSON");
+        assert!(doc.get("traceEvents").is_some());
+        // Lossless round trip.
+        let back = Trace::from_chrome_json(&json).expect("parse back");
+        assert_eq!(back, trace);
     }
 
     #[test]
     fn trace_disabled_by_default() {
         let (_, report) = run(Config::new(1, SchedKind::Df), || ());
         assert!(report.trace.is_none());
+    }
+
+    #[test]
+    fn overlap_ignores_adjacent_processors() {
+        let span = |proc, start, end| Span {
+            proc,
+            thread: 0,
+            start: VirtTime::from_ns(start),
+            end: VirtTime::from_ns(end),
+            kind: SpanKind::Run,
+        };
+        // Overlapping intervals on *different* processors: not an overlap.
+        let mut t = Trace::default();
+        t.spans.push(span(0, 0, 100));
+        t.spans.push(span(1, 50, 150));
+        assert!(t.find_overlap().is_none(), "adjacent-processor false positive");
+        // The same intervals on one processor: caught.
+        let mut t = Trace::default();
+        t.spans.push(span(2, 0, 100));
+        t.spans.push(span(2, 50, 150));
+        let (a, b) = t.find_overlap().expect("must catch same-proc overlap");
+        assert_eq!((a.start.as_ns(), b.start.as_ns()), (0, 50));
+    }
+
+    #[test]
+    fn events_cover_the_taxonomy() {
+        // Df run: memory-path kinds (dummies, preemption, alloc/free).
+        let cfg = Config::new(2, SchedKind::Df).with_trace().with_quota(1024);
+        let (_, report) = run(cfg, || {
+            let h = crate::spawn(|| crate::work(5000));
+            crate::rt_alloc(8 * 1024); // > K -> dummies + preempt
+            crate::rt_free(8 * 1024);
+            h.join();
+        });
+        let trace = report.trace.unwrap();
+        let counts = trace.event_kind_counts();
+        let has = |k: &str| counts.iter().any(|&(n, _)| n == k);
+        for kind in [
+            "spawn",
+            "first-dispatch",
+            "join",
+            "dummy-insert",
+            "preempt",
+            "stack-reserve",
+            "stack-release",
+            "alloc",
+            "free",
+        ] {
+            assert!(has(kind), "missing event kind {kind}: {counts:?}");
+        }
+        assert!(counts.len() >= 6, "acceptance: >= 6 event kinds in one run");
+        // Counter tracks: footprint, live-threads, ready at minimum.
+        assert!(!trace.counters.footprint.is_empty());
+        assert!(!trace.counters.live_threads.is_empty());
+        assert!(!trace.counters.ready.is_empty());
+        trace.validate().expect("valid df trace");
+
+        // Fifo run: deterministic block/wake — with a two-party barrier,
+        // whichever thread arrives first must block until the other shows.
+        let cfg = Config::new(2, SchedKind::Fifo).with_trace();
+        let (_, report) = run(cfg, || {
+            let b = crate::Barrier::new(2);
+            let b2 = b.clone();
+            let h = crate::spawn(move || {
+                crate::work(5000);
+                b2.wait();
+            });
+            b.wait();
+            h.join();
+        });
+        let trace = report.trace.unwrap();
+        let blocks: Vec<_> = trace
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Block { reason } => Some(reason),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            blocks.contains(&BlockReason::Barrier),
+            "first barrier arrival must block: {blocks:?} / {:?}",
+            trace.event_kind_counts()
+        );
+        let wakes = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Wake))
+            .count();
+        assert!(wakes >= 1, "barrier completion must produce a wake event");
+        trace.validate().expect("valid fifo trace");
+    }
+
+    #[test]
+    fn steal_events_carry_victims() {
+        let cfg = Config::new(4, SchedKind::Ws).with_trace();
+        let (_, report) = run(cfg, || {
+            scope(|s| {
+                for _ in 0..32 {
+                    s.spawn(|| crate::work(50_000));
+                }
+            })
+        });
+        let trace = report.trace.unwrap();
+        let steals: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Steal { .. }))
+            .collect();
+        assert_eq!(steals.len() as u64, report.steals, "one event per steal");
+        assert!(!steals.is_empty(), "ws at p=4 must steal");
+        for e in &steals {
+            let EventKind::Steal { victim } = e.kind else {
+                unreachable!()
+            };
+            let v = victim.expect("ws knows its victim") as usize;
+            assert_ne!(v, e.proc, "no self-steals");
+        }
+    }
+
+    #[test]
+    fn lifecycle_percentiles_are_consistent() {
+        let cfg = Config::new(2, SchedKind::Fifo).with_trace();
+        let (_, report) = run(cfg, || {
+            scope(|s| {
+                for i in 0..24 {
+                    s.spawn(move || crate::work(2000 * (i % 5 + 1)));
+                }
+            })
+        });
+        let trace = report.trace.as_ref().unwrap();
+        let lc = trace.lifecycle();
+        assert_eq!(lc.threads, report.total_threads as u64);
+        // Every dispatch is a quantum of exactly one thread.
+        let dispatches: u64 = report.stats.procs.iter().map(|p| p.dispatches).sum();
+        assert_eq!(lc.total_quanta, dispatches);
+        assert!(lc.dispatch_latency.count > 0);
+        assert!(lc.dispatch_latency.p50 <= lc.dispatch_latency.p90);
+        assert!(lc.dispatch_latency.p90 <= lc.dispatch_latency.p99);
+        assert!(lc.dispatch_latency.p99 <= lc.dispatch_latency.max);
+        let hist_total: u64 = lc.dispatch_latency.hist_log2.iter().sum();
+        assert_eq!(hist_total, lc.dispatch_latency.count);
+        // FIFO at p=2 queues threads: someone must actually wait.
+        assert!(lc.ready_wait.max > VirtTime::ZERO);
     }
 }

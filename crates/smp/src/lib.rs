@@ -28,6 +28,7 @@ mod cache;
 mod cost;
 mod heap;
 mod machine;
+mod record;
 mod stats;
 mod time;
 mod vlock;
@@ -36,6 +37,7 @@ pub use cache::CacheModel;
 pub use cost::{CacheParams, CostModel, StackClass};
 pub use heap::{HeapModel, StackPool};
 pub use machine::{Machine, ProcId};
+pub use record::{MachineRecording, MemEvent, MemEventKind};
 pub use stats::{Bucket, MemStats, ProcStats, RunStats, TimeBreakdown};
 pub use time::VirtTime;
 pub use vlock::VirtualLock;

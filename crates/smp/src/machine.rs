@@ -4,6 +4,7 @@
 use crate::cache::CacheModel;
 use crate::cost::CostModel;
 use crate::heap::{HeapModel, StackPool};
+use crate::record::{MachineRecording, MemEventKind, Recorder};
 use crate::stats::{Bucket, MemStats, ProcStats, RunStats};
 use crate::time::VirtTime;
 use crate::vlock::VirtualLock;
@@ -42,6 +43,8 @@ pub struct Machine {
     threads_created: u64,
     dummy_threads: u64,
     prune_tick: u64,
+    /// Flight recording, when enabled (see [`Machine::enable_recording`]).
+    recorder: Option<Box<Recorder>>,
 }
 
 impl Machine {
@@ -64,7 +67,27 @@ impl Machine {
             threads_created: 0,
             dummy_threads: 0,
             prune_tick: 0,
+            recorder: None,
         }
+    }
+
+    /// Starts flight recording: memory-system events (allocs/frees of at
+    /// least `alloc_event_threshold` bytes, stack reserve/release) and
+    /// counter samples at every footprint / live-thread / lock-wait change.
+    /// The counter tracks are exact: their maxima equal the corresponding
+    /// [`MemStats`] high-water marks.
+    pub fn enable_recording(&mut self, alloc_event_threshold: u64) {
+        self.recorder = Some(Box::new(Recorder::new(
+            alloc_event_threshold,
+            self.heap.footprint(),
+            self.live_threads,
+        )));
+    }
+
+    /// Stops recording and returns everything recorded so far, or `None`
+    /// when recording was never enabled.
+    pub fn take_recording(&mut self) -> Option<MachineRecording> {
+        self.recorder.take().map(|r| r.rec)
     }
 
     /// Number of processors.
@@ -109,6 +132,11 @@ impl Machine {
         let (wait, release) = self.sched_lock.acquire(now, self.cost.sched_cs);
         self.charge(p, Bucket::SchedWait, wait);
         self.charge(p, Bucket::SchedCs, release.since(now + wait));
+        if wait > VirtTime::ZERO {
+            if let Some(r) = self.recorder.as_deref_mut() {
+                r.sample_lock_wait(release, wait);
+            }
+        }
         self.maybe_prune();
     }
 
@@ -149,6 +177,12 @@ impl Machine {
             let hold = self.cost.fresh_pages(fresh);
             self.kernel_mem_op(p, hold);
         }
+        if self.recorder.is_some() {
+            let (at, fp) = (self.procs[p].clock, self.heap.footprint());
+            let r = self.recorder.as_deref_mut().expect("checked");
+            r.event(at, p, MemEventKind::Alloc { bytes });
+            r.sample_footprint(at, fp);
+        }
     }
 
     /// Models freeing `bytes` on processor `p`.
@@ -156,6 +190,11 @@ impl Machine {
         self.heap.free(bytes);
         let cost = self.cost.free_base;
         self.charge(p, Bucket::MemSys, cost);
+        if self.recorder.is_some() {
+            let at = self.procs[p].clock;
+            let r = self.recorder.as_deref_mut().expect("checked");
+            r.event(at, p, MemEventKind::Free { bytes });
+        }
     }
 
     /// Models thread creation bookkeeping on `p` (thread-create overhead and
@@ -166,7 +205,7 @@ impl Machine {
         self.live_threads += 1;
         self.live_threads_hwm = self.live_threads_hwm.max(self.live_threads);
         self.charge(p, Bucket::ThreadOp, self.cost.thread_create);
-        match self.stacks.acquire(reserved) {
+        let committed = match self.stacks.acquire(reserved) {
             Some(committed) => {
                 // Cached stack: its committed bytes are already live.
                 self.charge(p, Bucket::MemSys, self.cost.stack_cached);
@@ -179,7 +218,15 @@ impl Machine {
                 self.kernel_mem_op(p, hold);
                 committed
             }
+        };
+        if self.recorder.is_some() {
+            let (at, fp, live) = (self.procs[p].clock, self.heap.footprint(), self.live_threads);
+            let r = self.recorder.as_deref_mut().expect("checked");
+            r.event(at, p, MemEventKind::StackReserve { bytes: reserved });
+            r.sample_live(at, live);
+            r.sample_footprint(at, fp);
         }
+        committed
     }
 
     /// Models the lazy stack commit when a thread first runs: grows its
@@ -192,6 +239,11 @@ impl Machine {
             if fresh > 0 {
                 let hold = self.cost.fresh_pages(fresh);
                 self.kernel_mem_op(p, hold);
+            }
+            if self.recorder.is_some() {
+                let (at, fp) = (self.procs[p].clock, self.heap.footprint());
+                let r = self.recorder.as_deref_mut().expect("checked");
+                r.sample_footprint(at, fp);
             }
             target
         } else {
@@ -208,6 +260,12 @@ impl Machine {
             self.heap.free(committed);
             let cost = self.cost.free_base;
             self.charge(p, Bucket::MemSys, cost);
+        }
+        if self.recorder.is_some() {
+            let (at, live) = (self.procs[p].clock, self.live_threads);
+            let r = self.recorder.as_deref_mut().expect("checked");
+            r.event(at, p, MemEventKind::StackRelease { bytes: reserved });
+            r.sample_live(at, live);
         }
     }
 
@@ -366,6 +424,36 @@ mod tests {
         let stats = m.finish();
         assert_eq!(stats.sched_lock_acquisitions, 2);
         assert_eq!(stats.sched_lock_wait, VirtTime::from_ns(1_500));
+    }
+
+    #[test]
+    fn recording_counter_maxima_equal_hwms() {
+        let mut m = machine(2);
+        m.enable_recording(1024);
+        let c0 = m.thread_create(0, 1024 * 1024);
+        let c1 = m.thread_create(1, 1024 * 1024);
+        m.alloc(0, 64 * 1024);
+        m.free(0, 64 * 1024);
+        m.alloc(1, 16); // below threshold: no event, footprint unchanged (reuse)
+        m.thread_exit(0, 1024 * 1024, c0);
+        m.thread_exit(1, 1024 * 1024, c1);
+        let rec = m.take_recording().expect("recording enabled");
+        let stats = m.finish();
+        let fp_max = rec.footprint.iter().map(|&(_, v)| v).max().unwrap();
+        let live_max = rec.live_threads.iter().map(|&(_, v)| v).max().unwrap();
+        assert_eq!(fp_max, stats.mem.footprint_hwm);
+        assert_eq!(live_max, stats.mem.live_threads_hwm);
+        // 2 reserves + 2 releases + the one above-threshold alloc/free pair.
+        assert_eq!(rec.events.len(), 6);
+        // Footprint samples are non-decreasing (an arena never shrinks).
+        assert!(rec.footprint.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn recording_disabled_is_absent() {
+        let mut m = machine(1);
+        m.alloc(0, 4096);
+        assert!(m.take_recording().is_none());
     }
 
     #[test]

@@ -1,0 +1,382 @@
+//! `ptdf-trace`: inspect flight-recorder traces.
+//!
+//! The runtime's flight recorder ([`ptdf::Trace`], enabled with
+//! [`ptdf::Config::with_trace`]) exports Chrome/Perfetto trace-event JSON.
+//! This tool reads those files back (they round-trip losslessly through
+//! `Trace::from_chrome_json`) and offers three subcommands:
+//!
+//! * `summarize <trace.json>` — configuration echo, span/event tallies,
+//!   counter-track maxima, and per-thread lifecycle percentiles
+//!   (spawn→first-dispatch latency, ready-wait).
+//! * `validate <trace.json> [--s1 B] [--depth B] [--factor F]` — structural
+//!   checks (span overlap, event ordering, counter monotonicity, lifecycle
+//!   consistency) plus an optional space-bound audit against the paper's
+//!   `S1 + O(p·D)` guarantee: with `--s1` (serial footprint, bytes) and
+//!   `--depth` (per-processor depth allowance, bytes) the footprint
+//!   high-water mark must stay within `S1 + factor·p·depth`.
+//! * `diff <a.json> <b.json>` — side-by-side comparison of two traces
+//!   (schedulers, footprint, event counts, latency percentiles).
+//!
+//! Exit status: 0 on success, 1 on a failed validation or audit, 2 on
+//! usage or I/O errors.
+
+use std::process::ExitCode;
+
+use ptdf::Trace;
+use ptdf_smp::VirtTime;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("summarize") => cmd_summarize(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            eprint!("{USAGE}");
+            Ok(ExitCode::from(if args.is_empty() { 2 } else { 0 }))
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
+    };
+    match code {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("ptdf-trace: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: ptdf-trace <command> [args]
+
+commands:
+  summarize <trace.json>
+      Print configuration, span/event tallies, counter maxima, and
+      per-thread lifecycle percentiles.
+  validate <trace.json> [--s1 BYTES] [--depth BYTES] [--factor F]
+      Structural validation; with --s1 and --depth also audits the
+      footprint high-water mark against S1 + factor * p * depth
+      (factor defaults to 1.0).
+  diff <a.json> <b.json>
+      Compare two traces side by side.
+";
+
+fn load(path: &str) -> Result<Trace, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Trace::from_chrome_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// summarize
+// ---------------------------------------------------------------------------
+
+fn cmd_summarize(args: &[String]) -> Result<ExitCode, String> {
+    let [path] = args else {
+        return Err(format!("summarize expects one trace file\n{USAGE}"));
+    };
+    let trace = load(path)?;
+    print!("{}", summarize(&trace));
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Renders the human-readable summary of a trace.
+fn summarize(trace: &Trace) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let m = &trace.meta;
+    let quota = m
+        .quota
+        .map(|k| format!(", quota {k} B"))
+        .unwrap_or_default();
+    let _ = writeln!(
+        out,
+        "scheduler {} on {} procs (default stack {} B{quota})",
+        m.scheduler, m.processors, m.default_stack
+    );
+
+    let makespan = trace
+        .spans
+        .iter()
+        .map(|s| s.end)
+        .max()
+        .unwrap_or(VirtTime::ZERO);
+    let _ = writeln!(out, "makespan   {makespan}");
+    let _ = writeln!(out, "spans      {}", trace.len());
+
+    let _ = writeln!(out, "events     {}", trace.events.len());
+    for (kind, count) in trace.event_kind_counts() {
+        let _ = writeln!(out, "  {kind:<15} {count}");
+    }
+
+    let _ = writeln!(out, "counters");
+    let _ = writeln!(
+        out,
+        "  footprint hwm   {} B ({} samples)",
+        trace.footprint_hwm(),
+        trace.counters.footprint.len()
+    );
+    let _ = writeln!(
+        out,
+        "  live threads    {} max ({} samples)",
+        trace.max_live_threads(),
+        trace.counters.live_threads.len()
+    );
+    let ready_max = track_max(&trace.counters.ready);
+    let _ = writeln!(
+        out,
+        "  ready queue     {} max ({} samples)",
+        ready_max,
+        trace.counters.ready.len()
+    );
+    if !trace.counters.active_deques.is_empty() {
+        let _ = writeln!(
+            out,
+            "  active deques   {} max ({} samples)",
+            track_max(&trace.counters.active_deques),
+            trace.counters.active_deques.len()
+        );
+    }
+    if let Some(&(_, wait)) = trace.counters.sched_lock_wait.last() {
+        let _ = writeln!(
+            out,
+            "  sched-lock wait {} cumulative",
+            VirtTime::from_ns(wait)
+        );
+    }
+
+    let lc = trace.lifecycle();
+    let _ = writeln!(
+        out,
+        "threads    {} ({} quanta total)",
+        lc.threads, lc.total_quanta
+    );
+    let _ = writeln!(
+        out,
+        "  dispatch latency p50 {} / p90 {} / p99 {} / max {}  (n={})",
+        lc.dispatch_latency.p50,
+        lc.dispatch_latency.p90,
+        lc.dispatch_latency.p99,
+        lc.dispatch_latency.max,
+        lc.dispatch_latency.count
+    );
+    let _ = writeln!(
+        out,
+        "  ready wait       p50 {} / p90 {} / p99 {} / max {}  (n={})",
+        lc.ready_wait.p50,
+        lc.ready_wait.p90,
+        lc.ready_wait.p99,
+        lc.ready_wait.max,
+        lc.ready_wait.count
+    );
+    out
+}
+
+fn track_max(track: &[(VirtTime, u64)]) -> u64 {
+    track.iter().map(|&(_, v)| v).max().unwrap_or(0)
+}
+
+// ---------------------------------------------------------------------------
+// validate
+// ---------------------------------------------------------------------------
+
+fn cmd_validate(args: &[String]) -> Result<ExitCode, String> {
+    let mut path = None;
+    let mut s1 = None;
+    let mut depth = None;
+    let mut factor = 1.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--s1" => s1 = Some(parse_flag_u64(&mut it, "--s1")?),
+            "--depth" => depth = Some(parse_flag_u64(&mut it, "--depth")?),
+            "--factor" => {
+                factor = it
+                    .next()
+                    .ok_or("--factor expects a value")?
+                    .parse()
+                    .map_err(|e| format!("--factor: {e}"))?
+            }
+            other if path.is_none() && !other.starts_with("--") => {
+                path = Some(other.to_string())
+            }
+            other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
+        }
+    }
+    let path = path.ok_or_else(|| format!("validate expects a trace file\n{USAGE}"))?;
+    let trace = load(&path)?;
+
+    match trace.validate() {
+        Ok(()) => println!("structure   ok ({} spans, {} events)", trace.len(), trace.events.len()),
+        Err(e) => {
+            println!("structure   FAIL: {e}");
+            return Ok(ExitCode::FAILURE);
+        }
+    }
+
+    if let Some(s1) = s1 {
+        let hwm = trace.footprint_hwm();
+        let p = trace.meta.processors as u64;
+        let over = hwm.saturating_sub(s1);
+        println!("footprint   hwm {hwm} B, S1 {s1} B, overhead {over} B ({} B/proc)", over / p.max(1));
+        if let Some(depth) = depth {
+            let bound = s1 as f64 + factor * p as f64 * depth as f64;
+            let verdict = if (hwm as f64) <= bound { "ok" } else { "FAIL" };
+            println!(
+                "space bound {verdict}: hwm {hwm} <= S1 + {factor} * p({p}) * D({depth}) = {bound:.0}"
+            );
+            if (hwm as f64) > bound {
+                return Ok(ExitCode::FAILURE);
+            }
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn parse_flag_u64(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<u64, String> {
+    it.next()
+        .ok_or_else(|| format!("{flag} expects a value"))?
+        .parse()
+        .map_err(|e| format!("{flag}: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// diff
+// ---------------------------------------------------------------------------
+
+fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
+    let [a, b] = args else {
+        return Err(format!("diff expects two trace files\n{USAGE}"));
+    };
+    let ta = load(a)?;
+    let tb = load(b)?;
+    print!("{}", diff(&ta, &tb));
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Renders the side-by-side comparison of two traces.
+fn diff(a: &Trace, b: &Trace) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<18} {:>14} {:>14} {:>12}",
+        "metric", "A", "B", "delta"
+    );
+    let row = |out: &mut String, name: &str, va: u64, vb: u64| {
+        let delta = vb as i128 - va as i128;
+        let _ = writeln!(out, "{name:<18} {va:>14} {vb:>14} {delta:>+12}");
+    };
+    let _ = writeln!(
+        out,
+        "{:<18} {:>14} {:>14}",
+        "scheduler", a.meta.scheduler, b.meta.scheduler
+    );
+    row(&mut out, "processors", a.meta.processors as u64, b.meta.processors as u64);
+    let span_end = |t: &Trace| {
+        t.spans
+            .iter()
+            .map(|s| s.end.as_ns())
+            .max()
+            .unwrap_or(0)
+    };
+    row(&mut out, "makespan ns", span_end(a), span_end(b));
+    row(&mut out, "spans", a.len() as u64, b.len() as u64);
+    row(&mut out, "events", a.events.len() as u64, b.events.len() as u64);
+    row(&mut out, "footprint hwm B", a.footprint_hwm(), b.footprint_hwm());
+    row(&mut out, "live threads max", a.max_live_threads(), b.max_live_threads());
+    row(&mut out, "ready max", track_max(&a.counters.ready), track_max(&b.counters.ready));
+
+    // Union of event kinds, in name order (event_kind_counts is sorted).
+    let ca = a.event_kind_counts();
+    let cb = b.event_kind_counts();
+    let mut kinds: Vec<&str> = ca.iter().chain(cb.iter()).map(|&(k, _)| k).collect();
+    kinds.sort_unstable();
+    kinds.dedup();
+    let count = |c: &[(&str, u64)], k: &str| {
+        c.iter().find(|&&(n, _)| n == k).map_or(0, |&(_, v)| v)
+    };
+    for k in kinds {
+        row(&mut out, &format!("  {k}"), count(&ca, k), count(&cb, k));
+    }
+
+    let la = a.lifecycle();
+    let lb = b.lifecycle();
+    row(&mut out, "threads", la.threads, lb.threads);
+    row(&mut out, "quanta", la.total_quanta, lb.total_quanta);
+    row(
+        &mut out,
+        "dispatch p50 ns",
+        la.dispatch_latency.p50.as_ns(),
+        lb.dispatch_latency.p50.as_ns(),
+    );
+    row(
+        &mut out,
+        "ready-wait p50 ns",
+        la.ready_wait.p50.as_ns(),
+        lb.ready_wait.p50.as_ns(),
+    );
+    out
+}
+
+// ---------------------------------------------------------------------------
+// tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptdf::{run, Config, SchedKind};
+
+    fn sample_trace(kind: SchedKind) -> Trace {
+        let (_, report) = run(Config::new(2, kind).with_trace(), || {
+            let h = ptdf::spawn(|| ptdf::work(10_000));
+            ptdf::rt_alloc(64 * 1024);
+            ptdf::work(2_000);
+            ptdf::rt_free(64 * 1024);
+            h.join();
+        });
+        report.trace.unwrap()
+    }
+
+    #[test]
+    fn summarize_mentions_the_key_metrics() {
+        let t = sample_trace(SchedKind::Df);
+        let s = summarize(&t);
+        assert!(s.contains("scheduler df on 2 procs"), "{s}");
+        assert!(s.contains("footprint hwm"), "{s}");
+        assert!(s.contains("dispatch latency p50"), "{s}");
+        assert!(s.contains("spawn"), "{s}");
+    }
+
+    #[test]
+    fn summarize_footprint_matches_report_exactly() {
+        let (_, report) = run(Config::new(2, SchedKind::Df).with_trace(), || {
+            ptdf::rt_alloc(128 * 1024);
+            ptdf::rt_free(128 * 1024);
+        });
+        let hwm = report.footprint();
+        let t = report.trace.unwrap();
+        assert_eq!(t.footprint_hwm(), hwm, "trace hwm must equal Report::footprint");
+        let s = summarize(&t);
+        assert!(s.contains(&format!("footprint hwm   {hwm} B")), "{s}");
+    }
+
+    #[test]
+    fn diff_lines_up_both_traces() {
+        let a = sample_trace(SchedKind::Fifo);
+        let b = sample_trace(SchedKind::Ws);
+        let d = diff(&a, &b);
+        assert!(d.contains("fifo"), "{d}");
+        assert!(d.contains("ws"), "{d}");
+        assert!(d.contains("footprint hwm B"), "{d}");
+        assert!(d.contains("  spawn"), "{d}");
+    }
+
+    #[test]
+    fn round_trip_through_disk_format() {
+        let t = sample_trace(SchedKind::DfDeques);
+        let back = Trace::from_chrome_json(&t.to_chrome_json()).unwrap();
+        assert_eq!(t, back);
+        back.validate().unwrap();
+    }
+}
