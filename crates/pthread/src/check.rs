@@ -1,0 +1,744 @@
+//! Happens-before checker over flight-recorder traces.
+//!
+//! Consumes the event stream the runtime already records — spawn,
+//! block/wake (with reason and sync-object id), notify, join, steal — and
+//! verifies that the schedule it describes is causally consistent:
+//!
+//! * **Block/wake alternation** — every thread alternates `Block` and
+//!   `Wake`; a second block without an intervening wake, or a wake of a
+//!   thread that is not blocked, is flagged.
+//! * **Lost notifies** — a [`EventKind::Notify`] that observed waiters but
+//!   woke none of them ([`Violation::LostNotify`]); this is the signature
+//!   of a dropped wakeup in a notify-style primitive, recorded by the
+//!   primitive itself at the instant it ran, so no wait-list state has to
+//!   be reconstructed from interleaved per-processor timestamps.
+//! * **Lost wakeups** — a thread still blocked when the trace ends
+//!   ([`Violation::LostWakeup`]).
+//! * **Waits past notify** — a lost wakeup whose sync object received a
+//!   naked notify (no waiters present, nobody woken) *in the blocked
+//!   thread's causal past*, established with vector clocks: the thread
+//!   observed the notify before deciding to wait, i.e. the classic
+//!   missing-predicate-recheck bug ([`Violation::WaitPastNotify`]).
+//! * **Unrecorded handoffs** — every wake of a thread blocked on a sync
+//!   object must be published by a thread that performed a `Notify` on
+//!   that object ([`Violation::WakeWithoutNotify`]); join wakes are the
+//!   one sanctioned exception (they block on a thread, not an object).
+//! * **Lifecycle causality** — a thread cannot first-dispatch before its
+//!   spawn, exit before its first dispatch, or be joined before its exit;
+//!   the run's `live-threads` counter must return to zero.
+//!
+//! ## Why the checker runs in timestamp order, not "engine order"
+//!
+//! Virtual times across processors are **not** a linearization of the
+//! engine's execution order: a notifier whose processor clock reads 50ns
+//! can serve a waiter that blocked at 100ns on a faster processor. The
+//! trace is stable-sorted by virtual time (ties keep publication order),
+//! and every rule above is chosen to be sound in that order — per-thread
+//! sequences stay ordered because a wake never timestamps earlier than
+//! its block (the runtime's `make_ready` clamps with `max`), and
+//! cross-thread rules rely only on self-recorded `Notify` payloads and
+//! vector-clock edges, never on comparing wait-list sizes across
+//! processors.
+//!
+//! Together with deterministic schedule perturbation
+//! ([`crate::Config::with_perturbation`]), any flagged run is a repro: the
+//! `(policy, seed)` pair in [`CheckReport::replay`] replays the identical
+//! schedule bit-for-bit.
+
+use std::collections::HashMap;
+
+use ptdf_smp::VirtTime;
+
+use crate::trace::{BlockReason, EventKind, Trace};
+
+/// One causality violation found in a trace.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub enum Violation {
+    /// A thread blocked while already blocked (no intervening wake).
+    DoubleBlock {
+        /// Offending thread.
+        thread: u32,
+        /// Time of the block it never woke from.
+        first: VirtTime,
+        /// Time of the second block.
+        second: VirtTime,
+    },
+    /// A thread was woken while not blocked.
+    SpuriousWake {
+        /// Woken thread.
+        thread: u32,
+        /// Time of the wake.
+        at: VirtTime,
+    },
+    /// A wake timestamped before the block it resolves (the engine clamps
+    /// wake times with `max(clock, blocked_at)`, so this can only appear
+    /// in corrupted or hand-built traces).
+    WakeTimeInversion {
+        /// Woken thread.
+        thread: u32,
+        /// When it blocked.
+        blocked_at: VirtTime,
+        /// When it was (impossibly early) woken.
+        woken_at: VirtTime,
+    },
+    /// A wake of an object-blocked thread whose waker never recorded a
+    /// `Notify` on that object: the handoff protocol was bypassed.
+    WakeWithoutNotify {
+        /// Woken thread.
+        thread: u32,
+        /// Waking thread, when the trace knows it.
+        waker: Option<u32>,
+        /// Sync object the woken thread was blocked on.
+        obj: u32,
+        /// Time of the wake.
+        at: VirtTime,
+    },
+    /// A notify-style operation observed waiters but woke none of them.
+    LostNotify {
+        /// Primitive kind.
+        reason: BlockReason,
+        /// Sync object.
+        obj: u32,
+        /// Time of the operation.
+        at: VirtTime,
+        /// Waiters it observed (and abandoned).
+        waiters: u64,
+    },
+    /// A thread was still blocked when the trace ended.
+    LostWakeup {
+        /// Stranded thread.
+        thread: u32,
+        /// What it blocked on.
+        reason: BlockReason,
+        /// Sync object, when the block names one.
+        obj: Option<u32>,
+        /// When it blocked.
+        blocked_at: VirtTime,
+    },
+    /// A stranded thread whose sync object received a naked notify in the
+    /// thread's own causal past (vector-clock ordered before its block):
+    /// the thread waited *past* a notify it had already observed.
+    WaitPastNotify {
+        /// Stranded thread.
+        thread: u32,
+        /// Sync object.
+        obj: u32,
+        /// When the thread blocked.
+        blocked_at: VirtTime,
+        /// The causally-earlier naked notify it missed.
+        notified_at: VirtTime,
+    },
+    /// A join completed before its target's recorded exit.
+    JoinBeforeExit {
+        /// Joining thread.
+        joiner: u32,
+        /// Joined thread.
+        target: u32,
+        /// When the join completed.
+        join_at: VirtTime,
+        /// When the target actually exited.
+        exit_at: VirtTime,
+    },
+    /// A thread's first dispatch precedes its spawn, or its exit precedes
+    /// its first dispatch.
+    LifecycleInversion {
+        /// Offending thread.
+        thread: u32,
+        /// The earlier bound that was violated.
+        bound: VirtTime,
+        /// The event time that undershot it.
+        at: VirtTime,
+    },
+    /// A monotonic run invariant tracked by a counter failed (e.g. the
+    /// `live-threads` track not returning to zero at end of run).
+    CounterLeak {
+        /// Counter track name.
+        track: String,
+        /// Its final sampled value.
+        last: u64,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::DoubleBlock { thread, first, second } => write!(
+                f,
+                "double block: t{thread} blocked at {second} while still blocked from {first}"
+            ),
+            Violation::SpuriousWake { thread, at } => {
+                write!(f, "spurious wake: t{thread} woken at {at} while not blocked")
+            }
+            Violation::WakeTimeInversion { thread, blocked_at, woken_at } => write!(
+                f,
+                "wake time inversion: t{thread} woken at {woken_at}, before its block at {blocked_at}"
+            ),
+            Violation::WakeWithoutNotify { thread, waker, obj, at } => write!(
+                f,
+                "wake without notify: t{thread} (blocked on obj {obj}) woken at {at} by {} \
+                 which recorded no notify on that object",
+                match waker {
+                    Some(w) => format!("t{w}"),
+                    None => "an unknown waker".into(),
+                }
+            ),
+            Violation::LostNotify { reason, obj, at, waiters } => write!(
+                f,
+                "lost notify: {} obj {obj} at {at} observed {waiters} waiter(s) but woke none",
+                reason.name()
+            ),
+            Violation::LostWakeup { thread, reason, obj, blocked_at } => write!(
+                f,
+                "lost wakeup: t{thread} still blocked on {}{} at end of trace (blocked at {blocked_at})",
+                reason.name(),
+                match obj {
+                    Some(o) => format!(" obj {o}"),
+                    None => String::new(),
+                }
+            ),
+            Violation::WaitPastNotify { thread, obj, blocked_at, notified_at } => write!(
+                f,
+                "wait past notify: t{thread} blocked on obj {obj} at {blocked_at}, after \
+                 causally observing the naked notify at {notified_at}"
+            ),
+            Violation::JoinBeforeExit { joiner, target, join_at, exit_at } => write!(
+                f,
+                "join before exit: t{joiner} joined t{target} at {join_at}, before its exit at {exit_at}"
+            ),
+            Violation::LifecycleInversion { thread, bound, at } => write!(
+                f,
+                "lifecycle inversion: t{thread} event at {at} precedes its lower bound {bound}"
+            ),
+            Violation::CounterLeak { track, last } => {
+                write!(f, "counter leak: track {track:?} ends at {last}, expected 0")
+            }
+        }
+    }
+}
+
+/// Result of [`check_trace`].
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct CheckReport {
+    /// Everything the checker flagged, in timestamp order of discovery.
+    pub violations: Vec<Violation>,
+    /// Events examined.
+    pub events: usize,
+    /// Threads seen (lifecycle table).
+    pub threads: usize,
+    /// Replay recipe for the schedule, when the trace carries one —
+    /// e.g. `"--sched df --perturb-seed 42"`. Rerunning the same workload
+    /// with this policy and seed reproduces the flagged schedule exactly.
+    pub replay: Option<String>,
+}
+
+impl CheckReport {
+    /// True when no violation was found.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Sparse vector clock: thread id → last observed event counter.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Vc(HashMap<u32, u64>);
+
+impl Vc {
+    fn tick(&mut self, t: u32) -> u64 {
+        let e = self.0.entry(t).or_insert(0);
+        *e += 1;
+        *e
+    }
+
+    fn get(&self, t: u32) -> u64 {
+        self.0.get(&t).copied().unwrap_or(0)
+    }
+
+    fn join(&mut self, other: &Vc) {
+        for (&t, &c) in &other.0 {
+            let e = self.0.entry(t).or_insert(0);
+            *e = (*e).max(c);
+        }
+    }
+}
+
+/// A thread's open block, awaiting its wake.
+struct PendingBlock {
+    reason: BlockReason,
+    obj: Option<u32>,
+    at: VirtTime,
+    /// A naked notify on `obj` that was already in this thread's causal
+    /// past when it blocked (the waits-past-notify precondition).
+    missed_notify: Option<VirtTime>,
+}
+
+/// Past the VC bound the checker stops maintaining vector clocks (their
+/// cost is O(threads) per join); the order-insensitive rules still run.
+const VC_THREAD_LIMIT: usize = 4096;
+
+/// Runs every happens-before rule over `trace` and reports violations.
+///
+/// The trace is checked in stable virtual-time order (re-sorting is
+/// idempotent for traces produced by [`crate::run`]). A clean report means
+/// the recorded schedule is causally consistent under the rules listed in
+/// the [module docs](self); it does *not* prove the program race-free —
+/// only that this schedule's synchronization protocol held.
+pub fn check_trace(trace: &Trace) -> CheckReport {
+    let mut order: Vec<usize> = (0..trace.events.len()).collect();
+    order.sort_by_key(|&i| trace.events[i].at);
+
+    let track_vcs = trace.threads.len() <= VC_THREAD_LIMIT;
+    let mut violations = Vec::new();
+    let mut vcs: HashMap<u32, Vc> = HashMap::new();
+    let mut obj_vcs: HashMap<u32, Vc> = HashMap::new();
+    let mut pending: HashMap<u32, PendingBlock> = HashMap::new();
+    // Sync-object id → threads that performed a Notify on it.
+    let mut notifiers: HashMap<u32, Vec<u32>> = HashMap::new();
+    // Naked notifies per object: (notifier, notifier's VC counter, time).
+    let mut naked: HashMap<u32, Vec<(u32, u64, VirtTime)>> = HashMap::new();
+
+    let tick = |vcs: &mut HashMap<u32, Vc>, t: u32| -> u64 {
+        if track_vcs {
+            vcs.entry(t).or_default().tick(t)
+        } else {
+            0
+        }
+    };
+
+    for &i in &order {
+        let e = &trace.events[i];
+        let Some(subject) = e.thread else { continue };
+        match e.kind {
+            EventKind::Spawn { parent } => {
+                if track_vcs {
+                    if let Some(p) = parent {
+                        tick(&mut vcs, p);
+                        let pvc = vcs.get(&p).cloned().unwrap_or_default();
+                        vcs.entry(subject).or_default().join(&pvc);
+                    }
+                    tick(&mut vcs, subject);
+                }
+            }
+            EventKind::Block { reason, obj } => {
+                tick(&mut vcs, subject);
+                if let Some(prev) = pending.get(&subject) {
+                    violations.push(Violation::DoubleBlock {
+                        thread: subject,
+                        first: prev.at,
+                        second: e.at,
+                    });
+                }
+                let mut missed_notify = None;
+                if let Some(o) = obj {
+                    if track_vcs {
+                        let svc = vcs.entry(subject).or_default().clone();
+                        // Waits-past-notify precondition: a naked notify on
+                        // this object already in our causal past.
+                        if let Some(list) = naked.get(&o) {
+                            missed_notify = list
+                                .iter()
+                                .find(|&&(w, c, _)| svc.get(w) >= c)
+                                .map(|&(_, _, at)| at);
+                        }
+                        obj_vcs.entry(o).or_default().join(&svc);
+                    }
+                }
+                pending.insert(
+                    subject,
+                    PendingBlock {
+                        reason,
+                        obj,
+                        at: e.at,
+                        missed_notify,
+                    },
+                );
+            }
+            EventKind::Notify {
+                reason,
+                obj,
+                waiters,
+                woken,
+            } => {
+                let counter = tick(&mut vcs, subject);
+                if track_vcs {
+                    let ovc = obj_vcs.entry(obj).or_default();
+                    vcs.entry(subject).or_default().join(ovc);
+                    ovc.join(vcs.get(&subject).expect("just ticked"));
+                }
+                notifiers.entry(obj).or_default().push(subject);
+                if waiters > 0 && woken == 0 {
+                    violations.push(Violation::LostNotify {
+                        reason,
+                        obj,
+                        at: e.at,
+                        waiters,
+                    });
+                }
+                if waiters == 0 && woken == 0 {
+                    naked.entry(obj).or_default().push((subject, counter, e.at));
+                }
+            }
+            EventKind::Wake { waker } => {
+                match pending.remove(&subject) {
+                    None => violations.push(Violation::SpuriousWake {
+                        thread: subject,
+                        at: e.at,
+                    }),
+                    Some(block) => {
+                        if e.at < block.at {
+                            violations.push(Violation::WakeTimeInversion {
+                                thread: subject,
+                                blocked_at: block.at,
+                                woken_at: e.at,
+                            });
+                        }
+                        // Handoff protocol: an object-blocked thread may
+                        // only be woken by a thread that notified the
+                        // object. Join blocks (obj None) are woken by the
+                        // exiting target directly.
+                        if let Some(o) = block.obj {
+                            let sanctioned = waker.is_some_and(|w| {
+                                notifiers.get(&o).is_some_and(|ns| ns.contains(&w))
+                            });
+                            if !sanctioned {
+                                violations.push(Violation::WakeWithoutNotify {
+                                    thread: subject,
+                                    waker,
+                                    obj: o,
+                                    at: e.at,
+                                });
+                            }
+                        }
+                        if track_vcs {
+                            if let Some(w) = waker {
+                                let wvc = vcs.get(&w).cloned().unwrap_or_default();
+                                vcs.entry(subject).or_default().join(&wvc);
+                            }
+                            tick(&mut vcs, subject);
+                        }
+                    }
+                }
+            }
+            EventKind::Join { target } => {
+                tick(&mut vcs, subject);
+                if track_vcs {
+                    let tvc = vcs.get(&target).cloned().unwrap_or_default();
+                    vcs.entry(subject).or_default().join(&tvc);
+                }
+                if let Some(lc) = trace.threads.iter().find(|t| t.thread == target) {
+                    if let Some(exit) = lc.exited {
+                        if e.at < exit {
+                            violations.push(Violation::JoinBeforeExit {
+                                joiner: subject,
+                                target,
+                                join_at: e.at,
+                                exit_at: exit,
+                            });
+                        }
+                    }
+                }
+            }
+            _ => {
+                tick(&mut vcs, subject);
+            }
+        }
+    }
+
+    // Threads still blocked at end of trace: lost wakeups; refine with the
+    // vector-clock waits-past-notify evidence gathered at block time.
+    let mut stranded: Vec<_> = pending.into_iter().collect();
+    stranded.sort_by_key(|&(t, _)| t);
+    for (thread, block) in stranded {
+        violations.push(Violation::LostWakeup {
+            thread,
+            reason: block.reason,
+            obj: block.obj,
+            blocked_at: block.at,
+        });
+        if let (Some(obj), Some(notified_at)) = (block.obj, block.missed_notify) {
+            violations.push(Violation::WaitPastNotify {
+                thread,
+                obj,
+                blocked_at: block.at,
+                notified_at,
+            });
+        }
+    }
+
+    // Lifecycle causality from the (independently recorded) thread table.
+    for lc in &trace.threads {
+        if let Some(fd) = lc.first_dispatch {
+            if fd < lc.spawned {
+                violations.push(Violation::LifecycleInversion {
+                    thread: lc.thread,
+                    bound: lc.spawned,
+                    at: fd,
+                });
+            }
+            if let Some(exit) = lc.exited {
+                if exit < fd {
+                    violations.push(Violation::LifecycleInversion {
+                        thread: lc.thread,
+                        bound: fd,
+                        at: exit,
+                    });
+                }
+            }
+        }
+    }
+
+    // Every created thread must eventually die: the live-threads track
+    // returns to zero on a completed run.
+    if let Some(&(_, last)) = trace.counters.live_threads.last() {
+        if last != 0 {
+            violations.push(Violation::CounterLeak {
+                track: "live-threads".into(),
+                last,
+            });
+        }
+    }
+
+    CheckReport {
+        violations,
+        events: trace.events.len(),
+        threads: trace.threads.len(),
+        replay: replay_recipe(trace),
+    }
+}
+
+fn replay_recipe(trace: &Trace) -> Option<String> {
+    let seed = trace.meta.perturb_seed?;
+    Some(format!(
+        "--sched {} --perturb-seed {seed}",
+        trace.meta.scheduler
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Event;
+    use crate::{run, scope, spawn, Config, SchedKind};
+
+    fn ns(v: u64) -> VirtTime {
+        VirtTime::from_ns(v)
+    }
+
+    fn event(at: u64, thread: u32, kind: EventKind) -> Event {
+        Event {
+            at: ns(at),
+            proc: 0,
+            thread: Some(thread),
+            kind,
+        }
+    }
+
+    #[test]
+    fn vc_join_and_tick() {
+        let mut a = Vc::default();
+        a.tick(1);
+        a.tick(1);
+        let mut b = Vc::default();
+        b.tick(2);
+        b.join(&a);
+        assert_eq!(b.get(1), 2);
+        assert_eq!(b.get(2), 1);
+        assert_eq!(a.get(2), 0, "join is one-directional");
+    }
+
+    #[test]
+    fn clean_real_traces_check_clean() {
+        for kind in [SchedKind::Fifo, SchedKind::Df, SchedKind::Ws] {
+            let (_, report) = run(Config::new(4, kind).with_trace(), || {
+                let m = crate::Mutex::new(0u64);
+                let b = crate::Barrier::new(4);
+                let s = crate::Semaphore::new(2);
+                scope(|sc| {
+                    for _ in 0..4 {
+                        let (m, b, s) = (m.clone(), b.clone(), s.clone());
+                        sc.spawn(move || {
+                            s.acquire();
+                            *m.lock() += 1;
+                            s.release();
+                            b.wait();
+                            crate::work(2_000);
+                        });
+                    }
+                });
+                assert_eq!(*m.lock(), 4);
+            });
+            let trace = report.trace.unwrap();
+            let check = check_trace(&trace);
+            assert!(
+                check.is_clean(),
+                "{kind:?}: unexpected violations: {:?}",
+                check.violations
+            );
+            assert!(check.events > 0);
+        }
+    }
+
+    #[test]
+    fn synthetic_lost_notify_is_flagged() {
+        let mut trace = Trace::default();
+        trace.events.push(event(
+            10,
+            1,
+            EventKind::Block {
+                reason: BlockReason::Condvar,
+                obj: Some(7),
+            },
+        ));
+        trace.events.push(event(
+            20,
+            2,
+            EventKind::Notify {
+                reason: BlockReason::Condvar,
+                obj: 7,
+                waiters: 1,
+                woken: 0,
+            },
+        ));
+        let check = check_trace(&trace);
+        assert!(check
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::LostNotify { obj: 7, waiters: 1, .. })));
+        assert!(check
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::LostWakeup { thread: 1, .. })));
+    }
+
+    #[test]
+    fn synthetic_double_block_and_spurious_wake() {
+        let mut trace = Trace::default();
+        let block = EventKind::Block {
+            reason: BlockReason::Mutex,
+            obj: Some(0),
+        };
+        trace.events.push(event(10, 1, block));
+        trace.events.push(event(20, 1, block));
+        trace.events.push(event(30, 2, EventKind::Wake { waker: Some(3) }));
+        let check = check_trace(&trace);
+        assert!(check
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::DoubleBlock { thread: 1, .. })));
+        assert!(check
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::SpuriousWake { thread: 2, .. })));
+    }
+
+    #[test]
+    fn surgically_removed_wake_is_flagged() {
+        // Take a real trace and drop one Wake event: the woken thread now
+        // appears stranded, exactly what a lost wakeup looks like.
+        let (_, report) = run(Config::new(2, SchedKind::Fifo).with_trace(), || {
+            let b = crate::Barrier::new(2);
+            let b2 = b.clone();
+            let h = spawn(move || {
+                crate::work(5_000);
+                b2.wait();
+            });
+            b.wait();
+            h.join();
+        });
+        let mut trace = report.trace.unwrap();
+        assert!(check_trace(&trace).is_clean(), "pre-surgery trace is clean");
+        let pos = trace
+            .events
+            .iter()
+            .position(|e| matches!(e.kind, EventKind::Wake { .. }))
+            .expect("barrier run has wakes");
+        trace.events.remove(pos);
+        let check = check_trace(&trace);
+        assert!(
+            !check.is_clean(),
+            "removing a wake must produce a violation"
+        );
+    }
+
+    #[test]
+    fn wait_past_notify_detected_through_vector_clocks() {
+        // t2 spawns t1 (so t1's clock knows t2's naked notify), then t1
+        // blocks on the object the notify already hit: the classic
+        // missed-signal-then-wait bug, invisible to timestamp comparison
+        // alone but established by the vector-clock edge spawn(t2 → t1).
+        let mut trace = Trace::default();
+        trace.events.push(event(
+            5,
+            2,
+            EventKind::Notify {
+                reason: BlockReason::Condvar,
+                obj: 9,
+                waiters: 0,
+                woken: 0,
+            },
+        ));
+        trace
+            .events
+            .push(event(6, 1, EventKind::Spawn { parent: Some(2) }));
+        trace.events.push(event(
+            10,
+            1,
+            EventKind::Block {
+                reason: BlockReason::Condvar,
+                obj: Some(9),
+            },
+        ));
+        let check = check_trace(&trace);
+        assert!(
+            check
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::WaitPastNotify { thread: 1, obj: 9, .. })),
+            "expected WaitPastNotify, got {:?}",
+            check.violations
+        );
+        // Control: without the spawn edge the notify is concurrent with
+        // the block, so the refinement must NOT fire (lost wakeup only).
+        let mut concurrent = Trace::default();
+        concurrent.events.push(event(
+            5,
+            2,
+            EventKind::Notify {
+                reason: BlockReason::Condvar,
+                obj: 9,
+                waiters: 0,
+                woken: 0,
+            },
+        ));
+        concurrent.events.push(event(
+            10,
+            1,
+            EventKind::Block {
+                reason: BlockReason::Condvar,
+                obj: Some(9),
+            },
+        ));
+        let check = check_trace(&concurrent);
+        assert!(!check
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::WaitPastNotify { .. })));
+    }
+
+    #[test]
+    fn replay_recipe_round_trips_from_meta() {
+        let cfg = Config::new(2, SchedKind::Df)
+            .with_trace()
+            .with_perturbation(42);
+        let (_, report) = run(cfg, || {
+            let h = spawn(|| crate::work(1_000));
+            h.join();
+        });
+        let trace = report.trace.unwrap();
+        let check = check_trace(&trace);
+        assert_eq!(
+            check.replay.as_deref(),
+            Some("--sched df --perturb-seed 42")
+        );
+        assert!(check.is_clean(), "{:?}", check.violations);
+    }
+}

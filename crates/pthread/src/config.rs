@@ -99,6 +99,16 @@ pub struct Config {
     /// individual trace events (smaller ones still move the footprint
     /// counter track). Keeps traces of allocation-heavy runs bounded.
     pub trace_alloc_threshold: u64,
+    /// Schedule-perturbation seed. `Some(seed)` turns on deterministic
+    /// schedule exploration: sync-operation boundaries gain clock jitter
+    /// and may preempt the running thread, multi-thread wakes are
+    /// delivered in shuffled order, same-timestamp processor ties break
+    /// pseudo-randomly, and the work-stealing victim sequence is re-keyed.
+    /// Everything is driven by seeded deterministic generators, so any
+    /// `(policy, seed)` pair replays the exact same perturbed schedule —
+    /// which is what lets the happens-before checker
+    /// ([`crate::check_trace`]) turn a flagged run back into a repro.
+    pub perturb_seed: Option<u64>,
 }
 
 impl Config {
@@ -116,6 +126,7 @@ impl Config {
             locality_window: 16,
             trace: false,
             trace_alloc_threshold: 4096,
+            perturb_seed: None,
         }
     }
 
@@ -161,6 +172,13 @@ impl Config {
     /// nothing about tracing itself — combine with [`Config::with_trace`].
     pub fn with_trace_alloc_threshold(mut self, bytes: u64) -> Self {
         self.trace_alloc_threshold = bytes;
+        self
+    }
+
+    /// Enables seeded schedule perturbation (builder style). See
+    /// [`Config::perturb_seed`].
+    pub fn with_perturbation(mut self, seed: u64) -> Self {
+        self.perturb_seed = Some(seed);
         self
     }
 }

@@ -52,6 +52,7 @@
 mod api;
 #[cfg(feature = "bench-internals")]
 pub mod bench_api;
+pub mod check;
 mod config;
 pub mod json;
 mod mem;
@@ -69,6 +70,7 @@ pub use api::{
     current_thread, processors, scope, spawn, spawn_attr, touch, work, yield_now, Scope,
     ScopedHandle,
 };
+pub use check::{check_trace, CheckReport, Violation};
 pub use config::{Attr, Config, SchedKind, DEFAULT_QUOTA, STACK_1MB, STACK_8KB};
 pub use mem::{rt_alloc, rt_free, TrackedBuf};
 pub use report::Report;

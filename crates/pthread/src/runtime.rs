@@ -13,7 +13,7 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 
 use ptdf_fiber::{Coroutine, ForcedUnwind, Step};
-use ptdf_smp::{Machine, ProcId, VirtTime};
+use ptdf_smp::{Machine, Prng, ProcId, VirtTime};
 
 use crate::config::{Attr, Config, SchedKind};
 use crate::report::Report;
@@ -42,6 +42,14 @@ pub(crate) struct Inner {
     /// Flight-recorder trace, when enabled. Every hook below tests this
     /// `Option`'s discriminant and nothing else when tracing is off.
     pub trace: Option<Trace>,
+    /// Engine-level schedule perturbation stream, when enabled
+    /// ([`Config::perturb_seed`]): same-timestamp tie-breaks, wake-order
+    /// shuffles, and injected preemptions all draw from this generator, so
+    /// one seed fixes the whole explored schedule.
+    pub perturb: Option<Prng>,
+    /// Next per-run sync-object id (assigned lazily at an object's first
+    /// engine interaction, so ids are dense and engine-order deterministic).
+    next_sync_id: u32,
 }
 
 /// What kind of execution context the calling code is inside.
@@ -93,6 +101,9 @@ impl Inner {
         if config.trace {
             machine.enable_recording(config.trace_alloc_threshold);
         }
+        if let Some(seed) = config.perturb_seed {
+            machine.enable_perturbation(seed);
+        }
         Inner {
             machine,
             policy: make_policy(config),
@@ -113,8 +124,16 @@ impl Inner {
                         SchedKind::Df | SchedKind::DfLocal | SchedKind::DfDeques
                     )
                     .then_some(config.quota),
+                    perturb_seed: config.perturb_seed,
                 })
             }),
+            // Distinct stream from the machine-level jitter generator: the
+            // engine draws at different points than the cost model, and
+            // xoring a constant keeps the two sequences uncorrelated.
+            perturb: config
+                .perturb_seed
+                .map(|s| Prng::new(s ^ 0x0051_CED0_5EED_F00D)),
+            next_sync_id: 0,
         }
     }
 
@@ -143,9 +162,87 @@ impl Inner {
             .filter(|&q| self.parked[q])
             .min_by_key(|&q| self.machine.clock(q));
         if let Some(q) = victim {
+            let q = self.perturb_tie_break(q, |inner, r| inner.parked[r]);
             self.parked[q] = false;
             self.machine.idle_until(q, at);
         }
+    }
+
+    /// Under perturbation, re-picks uniformly among the processors tied with
+    /// `best` at its clock value (and admitted by `eligible`); the plain
+    /// engine always breaks ties toward the lowest index, which hides any
+    /// schedule that needs the other order.
+    fn perturb_tie_break(
+        &mut self,
+        best: ProcId,
+        eligible: impl Fn(&Inner, ProcId) -> bool,
+    ) -> ProcId {
+        if self.perturb.is_none() {
+            return best;
+        }
+        let t = self.machine.clock(best);
+        let ties: Vec<ProcId> = (0..self.parked.len())
+            .filter(|&q| eligible(self, q) && self.machine.clock(q) == t)
+            .collect();
+        if ties.len() <= 1 {
+            return best;
+        }
+        let prng = self.perturb.as_mut().expect("checked");
+        ties[prng.below(ties.len() as u64) as usize]
+    }
+
+    /// Shuffles a multi-thread wake batch when perturbation is on: delivery
+    /// order of simultaneous wakes is a genuine schedule degree of freedom
+    /// (barrier release, `notify_all`, rwlock reader admission).
+    pub fn shuffle_wake_order(&mut self, batch: &mut [ThreadId]) {
+        if let Some(prng) = self.perturb.as_mut() {
+            prng.shuffle(batch);
+        }
+    }
+
+    /// Allocates a per-run sync-object id (dense, engine-order stable).
+    pub fn alloc_sync_id(&mut self) -> u32 {
+        let id = self.next_sync_id;
+        self.next_sync_id += 1;
+        id
+    }
+
+    /// Lazily assigns a per-run id to a sync object at its first engine
+    /// interaction, memoized in the object's `cell`.
+    pub fn sync_id_for(&mut self, cell: &std::cell::Cell<Option<u32>>) -> u32 {
+        match cell.get() {
+            Some(id) => id,
+            None => {
+                let id = self.alloc_sync_id();
+                cell.set(Some(id));
+                id
+            }
+        }
+    }
+
+    /// Records a wake-capable sync operation — notify, post, lock handoff,
+    /// barrier completion — with what the primitive observed and claimed
+    /// atomically. The happens-before checker ([`crate::check_trace`]) uses
+    /// these to catch lost notifies without reconstructing wait-list state
+    /// from interleaved per-processor timestamps.
+    pub fn note_sync(&mut self, reason: BlockReason, obj: u32, waiters: u64, woken: u64) {
+        if self.trace.is_none() {
+            return;
+        }
+        let (tid, p) = self.cur.expect("sync op outside a thread");
+        let now = self.machine.clock(p);
+        let tr = self.trace.as_mut().expect("checked");
+        tr.event(
+            now,
+            p,
+            Some(tid.0),
+            EventKind::Notify {
+                reason,
+                obj,
+                waiters,
+                woken,
+            },
+        );
     }
 
     /// Creates a thread record. `enqueue_override` forces queue insertion
@@ -237,8 +334,9 @@ impl Inner {
         };
         self.threads[t.index()].state = TState::Ready;
         self.threads[t.index()].ready_since = now;
+        let waker = self.cur.map(|(w, _)| w.0);
         if let Some(tr) = self.trace.as_mut() {
-            tr.event(now, p, Some(t.0), EventKind::Wake);
+            tr.event(now, p, Some(t.0), EventKind::Wake { waker });
         }
         self.sched_op(p);
         self.policy.on_ready(t, prio, now, p, affinity);
@@ -247,14 +345,14 @@ impl Inner {
 
     /// Registers the current thread as blocked (caller must already have
     /// put it on some wait queue) — to be followed by a `Blocked` suspend.
-    pub fn block_current(&mut self, reason: BlockReason) -> (ThreadId, ProcId) {
+    pub fn block_current(&mut self, reason: BlockReason, obj: Option<u32>) -> (ThreadId, ProcId) {
         let (tid, p) = self.cur.expect("block outside a thread");
         let now = self.machine.clock(p);
         let t = &mut self.threads[tid.index()];
         t.state = TState::Blocked;
         t.blocked_at = now;
         if let Some(tr) = self.trace.as_mut() {
-            tr.event(now, p, Some(tid.0), EventKind::Block { reason });
+            tr.event(now, p, Some(tid.0), EventKind::Block { reason, obj });
         }
         self.policy.on_block(tid);
         self.sched_op(p);
@@ -382,10 +480,14 @@ impl Inner {
     }
 
     /// Minimum-clock runnable processor, or `None` when all are parked.
-    fn pick_proc(&self) -> Option<ProcId> {
-        (0..self.parked.len())
+    /// Under perturbation, ties at the minimum clock break pseudo-randomly
+    /// instead of always toward processor 0 — this is the main source of
+    /// genuinely different (but still causally valid) event interleavings.
+    fn pick_proc(&mut self) -> Option<ProcId> {
+        let best = (0..self.parked.len())
             .filter(|&q| !self.parked[q])
-            .min_by_key(|&q| self.machine.clock(q))
+            .min_by_key(|&q| self.machine.clock(q))?;
+        Some(self.perturb_tie_break(best, |inner, r| !inner.parked[r]))
     }
 
     fn deadlock_dump(&self) -> String {
@@ -584,6 +686,32 @@ pub(crate) fn maybe_timeslice(rc: &Rc<RefCell<Inner>>) {
     }
 }
 
+/// Under perturbation, probabilistically preempts the current thread at a
+/// sync-operation boundary — exactly the points where a real SMP's
+/// involuntary preemption exposes sync-protocol windows. Reuses
+/// [`maybe_timeslice`]'s Running-state guard: a thread that has already
+/// registered itself on a wait queue must not also be requeued as ready.
+pub(crate) fn maybe_perturb_yield(rc: &Rc<RefCell<Inner>>) {
+    let should = {
+        let mut inner = rc.borrow_mut();
+        let Some((tid, p)) = inner.cur else {
+            return;
+        };
+        if inner.threads[tid.index()].state != TState::Running(p) {
+            return;
+        }
+        match inner.perturb.as_mut() {
+            // 1-in-8 keeps runs fast while still visiting each boundary
+            // with high probability across a modest seed budget.
+            Some(prng) => prng.chance(1, 8),
+            None => return,
+        }
+    };
+    if should {
+        suspend_current(rc, YieldReason::Yielded);
+    }
+}
+
 fn engine_loop(inner_rc: &Rc<RefCell<Inner>>) {
     loop {
         let mut inner = inner_rc.borrow_mut();
@@ -744,7 +872,7 @@ pub(crate) fn join_wait(target: ThreadId) {
             "two threads joining {target}"
         );
         inner.threads[t].joiner = Some(cur);
-        inner.block_current(BlockReason::Join);
+        inner.block_current(BlockReason::Join, None);
         drop(inner);
         suspend_current(&rc, YieldReason::Blocked);
     }

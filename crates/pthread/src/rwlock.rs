@@ -19,6 +19,8 @@ enum Waiter {
 }
 
 struct RwState {
+    /// Per-run trace id, assigned at first engine interaction.
+    id: Cell<Option<u32>>,
     /// Active readers (writer active is represented by `writer`).
     readers: Cell<usize>,
     writer: Cell<bool>,
@@ -72,6 +74,7 @@ impl<T> RwLock<T> {
         RwLock {
             inner: Rc::new(RwInner {
                 state: RwState {
+                    id: Cell::new(None),
                     readers: Cell::new(0),
                     writer: Cell::new(false),
                     waiters: RefCell::new(VecDeque::new()),
@@ -98,7 +101,11 @@ impl<T> RwLock<T> {
         let rc = par_ctx().expect("contended rwlock outside a runtime would deadlock");
         let me = crate::api::current_thread().expect("read outside a thread");
         st.waiters.borrow_mut().push_back(Waiter::Reader(me));
-        rc.borrow_mut().block_current(crate::trace::BlockReason::RwRead);
+        {
+            let mut inner = rc.borrow_mut();
+            let obj = inner.sync_id_for(&st.id);
+            inner.block_current(crate::trace::BlockReason::RwRead, Some(obj));
+        }
         suspend_current(&rc, YieldReason::Blocked);
         // Woken by release(): reader count already incremented on our behalf.
         debug_assert!(st.readers.get() > 0);
@@ -116,7 +123,11 @@ impl<T> RwLock<T> {
         let rc = par_ctx().expect("contended rwlock outside a runtime would deadlock");
         let me = crate::api::current_thread().expect("write outside a thread");
         st.waiters.borrow_mut().push_back(Waiter::Writer(me));
-        rc.borrow_mut().block_current(crate::trace::BlockReason::RwWrite);
+        {
+            let mut inner = rc.borrow_mut();
+            let obj = inner.sync_id_for(&st.id);
+            inner.block_current(crate::trace::BlockReason::RwWrite, Some(obj));
+        }
         suspend_current(&rc, YieldReason::Blocked);
         debug_assert!(st.writer.get());
         WriteGuard { lock: self }
@@ -151,6 +162,7 @@ impl<T> RwLock<T> {
     fn release_next(&self) {
         let st = &self.inner.state;
         let mut waiters = st.waiters.borrow_mut();
+        let nwaiters = waiters.len() as u64;
         match waiters.front() {
             Some(Waiter::Writer(_)) if st.readers.get() == 0 && !st.writer.get() => {
                 let Some(Waiter::Writer(w)) = waiters.pop_front() else {
@@ -158,7 +170,7 @@ impl<T> RwLock<T> {
                 };
                 st.writer.set(true);
                 drop(waiters);
-                wake(w);
+                self.wake_batch(crate::trace::BlockReason::RwWrite, nwaiters, vec![w]);
             }
             Some(Waiter::Reader(_)) if !st.writer.get() => {
                 let mut woken = Vec::new();
@@ -168,20 +180,28 @@ impl<T> RwLock<T> {
                     woken.push(r);
                 }
                 drop(waiters);
-                for r in woken {
-                    wake(r);
-                }
+                self.wake_batch(crate::trace::BlockReason::RwRead, nwaiters, woken);
             }
             _ => {}
         }
     }
-}
 
-fn wake(t: ThreadId) {
-    if let Some(rc) = par_ctx() {
-        if let Ok(mut inner) = rc.try_borrow_mut() {
-            if let Some((_, p)) = inner.cur {
-                inner.make_ready(t, p);
+    /// Wakes an admitted batch, shuffled under schedule perturbation (a
+    /// reader batch has no defined admission order), and records the
+    /// handoff for the happens-before checker. Lenient on context like the
+    /// old free `wake`: a guard dropped outside a thread context (teardown
+    /// paths) skips the bookkeeping.
+    fn wake_batch(&self, reason: crate::trace::BlockReason, nwaiters: u64, mut batch: Vec<ThreadId>) {
+        if let Some(rc) = par_ctx() {
+            if let Ok(mut inner) = rc.try_borrow_mut() {
+                if let Some((_, p)) = inner.cur {
+                    let obj = inner.sync_id_for(&self.inner.state.id);
+                    inner.shuffle_wake_order(&mut batch);
+                    inner.note_sync(reason, obj, nwaiters, batch.len() as u64);
+                    for w in batch {
+                        inner.make_ready(w, p);
+                    }
+                }
             }
         }
     }

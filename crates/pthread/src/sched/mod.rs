@@ -143,6 +143,15 @@ pub(crate) fn make_policy(config: &Config) -> Box<dyn Policy> {
         SchedKind::DfDeques => {
             Box::new(DfDequesSched::new(config.quota.max(1), config.processors))
         }
-        SchedKind::Ws => Box::new(WsSched::new(config.processors, config.seed)),
+        SchedKind::Ws => {
+            // Schedule perturbation re-keys the victim sequence: steal
+            // targeting is the Ws policy's own schedule degree of freedom,
+            // so each perturbation seed explores a different one.
+            let seed = match config.perturb_seed {
+                Some(ps) => config.seed ^ ps.rotate_left(17) ^ 0x9E37_79B9_7F4A_7C15,
+                None => config.seed,
+            };
+            Box::new(WsSched::new(config.processors, seed))
+        }
     }
 }

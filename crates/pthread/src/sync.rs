@@ -35,6 +35,9 @@ fn charge_sync_op() {
             inner.machine.sync_op(p, c);
         }
         crate::runtime::maybe_timeslice(&rc);
+        // Schedule exploration: sync-operation boundaries are exactly the
+        // points where involuntary preemption exposes protocol windows.
+        crate::runtime::maybe_perturb_yield(&rc);
     }
 }
 
@@ -43,6 +46,8 @@ fn charge_sync_op() {
 // ---------------------------------------------------------------------------
 
 struct MutexState {
+    /// Per-run trace id, assigned at first engine interaction.
+    id: Cell<Option<u32>>,
     owner: Cell<Option<ThreadId>>,
     waiters: RefCell<VecDeque<ThreadId>>,
 }
@@ -87,6 +92,7 @@ impl<T> Mutex<T> {
         Mutex {
             inner: Rc::new(MutexInner {
                 state: MutexState {
+                    id: Cell::new(None),
                     owner: Cell::new(None),
                     waiters: RefCell::new(VecDeque::new()),
                 },
@@ -114,7 +120,8 @@ impl<T> Mutex<T> {
                         );
                         st.waiters.borrow_mut().push_back(me);
                         let mut inner = rc.borrow_mut();
-                        inner.block_current(crate::trace::BlockReason::Mutex);
+                        let obj = inner.sync_id_for(&st.id);
+                        inner.block_current(crate::trace::BlockReason::Mutex, Some(obj));
                         true
                     }
                 };
@@ -165,6 +172,7 @@ impl<T> Mutex<T> {
     fn unlock(&self) {
         charge_sync_op();
         let st = &self.inner.state;
+        let nwaiters = st.waiters.borrow().len() as u64;
         let next = st.waiters.borrow_mut().pop_front();
         match next {
             Some(w) => {
@@ -172,6 +180,8 @@ impl<T> Mutex<T> {
                 if let Some(rc) = par_ctx() {
                     if let Ok(mut inner) = rc.try_borrow_mut() {
                         if let Some((_, p)) = inner.cur {
+                            let obj = inner.sync_id_for(&st.id);
+                            inner.note_sync(crate::trace::BlockReason::Mutex, obj, nwaiters, 1);
                             inner.make_ready(w, p);
                         }
                     }
@@ -207,11 +217,18 @@ impl<T> Drop for MutexGuard<'_, T> {
 // Condvar
 // ---------------------------------------------------------------------------
 
+#[derive(Default)]
+struct CvState {
+    /// Per-run trace id, assigned at first engine interaction.
+    id: Cell<Option<u32>>,
+    waiters: RefCell<VecDeque<ThreadId>>,
+}
+
 /// A condition variable; pairs with [`Mutex`] as `pthread_cond_t` pairs with
 /// `pthread_mutex_t`.
 #[derive(Clone, Default)]
 pub struct Condvar {
-    waiters: Rc<RefCell<VecDeque<ThreadId>>>,
+    state: Rc<CvState>,
 }
 
 impl Condvar {
@@ -222,14 +239,23 @@ impl Condvar {
 
     /// Atomically releases `guard` and blocks until notified; re-acquires
     /// the mutex before returning.
+    ///
+    /// There is no naked-notify window here: the waiter is appended to the
+    /// wait list *before* the mutex is released, and the engine runs no
+    /// other thread between the two steps (the single preemption hook on
+    /// the unlock path, `runtime::maybe_timeslice` — and its
+    /// perturbation twin — refuses to yield a thread whose state is already
+    /// `Blocked`). A notifier therefore either sees the waiter on the list
+    /// or runs strictly before the wait began.
     pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
         let rc = par_ctx().expect("Condvar::wait requires a runtime");
         let mutex = guard.mutex;
         {
             let me = crate::api::current_thread().expect("wait outside a thread");
-            self.waiters.borrow_mut().push_back(me);
+            self.state.waiters.borrow_mut().push_back(me);
             let mut inner = rc.borrow_mut();
-            inner.block_current(crate::trace::BlockReason::Condvar);
+            let obj = inner.sync_id_for(&self.state.id);
+            inner.block_current(crate::trace::BlockReason::Condvar, Some(obj));
         }
         drop(guard); // releases the mutex (may hand it to a lock waiter)
         suspend_current(&rc, YieldReason::Blocked);
@@ -252,24 +278,47 @@ impl Condvar {
     /// Wakes one waiter.
     pub fn notify_one(&self) {
         charge_sync_op();
-        let woken = self.waiters.borrow_mut().pop_front();
+        let nwaiters = self.state.waiters.borrow().len() as u64;
+        let woken = self.state.waiters.borrow_mut().pop_front();
+        if let Some(rc) = par_ctx() {
+            let mut inner = rc.borrow_mut();
+            let obj = inner.sync_id_for(&self.state.id);
+            inner.note_sync(
+                crate::trace::BlockReason::Condvar,
+                obj,
+                nwaiters,
+                woken.is_some() as u64,
+            );
+        }
         if let Some(w) = woken {
             wake(w);
         }
     }
 
-    /// Wakes all waiters.
+    /// Wakes all waiters (delivery order is shuffled under schedule
+    /// perturbation — simultaneous wakes have no defined order).
     pub fn notify_all(&self) {
         charge_sync_op();
-        let woken: Vec<_> = self.waiters.borrow_mut().drain(..).collect();
-        for w in woken {
-            wake(w);
+        let mut woken: Vec<_> = self.state.waiters.borrow_mut().drain(..).collect();
+        match par_ctx() {
+            Some(rc) => {
+                let mut inner = rc.borrow_mut();
+                let obj = inner.sync_id_for(&self.state.id);
+                inner.shuffle_wake_order(&mut woken);
+                let n = woken.len() as u64;
+                inner.note_sync(crate::trace::BlockReason::Condvar, obj, n, n);
+                let (_, p) = inner.cur.expect("notify outside a thread");
+                for &w in &woken {
+                    inner.make_ready(w, p);
+                }
+            }
+            None => assert!(woken.is_empty(), "notify requires a runtime"),
         }
     }
 
     /// Number of threads currently waiting.
     pub fn waiter_count(&self) -> usize {
-        self.waiters.borrow().len()
+        self.state.waiters.borrow().len()
     }
 }
 
@@ -285,6 +334,8 @@ fn wake(t: ThreadId) {
 // ---------------------------------------------------------------------------
 
 struct SemState {
+    /// Per-run trace id, assigned at first engine interaction.
+    id: Cell<Option<u32>>,
     permits: Cell<i64>,
     waiters: RefCell<VecDeque<ThreadId>>,
 }
@@ -301,6 +352,7 @@ impl Semaphore {
     pub fn new(permits: i64) -> Self {
         Semaphore {
             state: Rc::new(SemState {
+                id: Cell::new(None),
                 permits: Cell::new(permits),
                 waiters: RefCell::new(VecDeque::new()),
             }),
@@ -320,7 +372,8 @@ impl Semaphore {
                         let me = crate::api::current_thread().expect("acquire outside a thread");
                         self.state.waiters.borrow_mut().push_back(me);
                         let mut inner = rc.borrow_mut();
-                        inner.block_current(crate::trace::BlockReason::Semaphore);
+                        let obj = inner.sync_id_for(&self.state.id);
+                        inner.block_current(crate::trace::BlockReason::Semaphore, Some(obj));
                         true
                     }
                 };
@@ -350,13 +403,38 @@ impl Semaphore {
         }
     }
 
-    /// V / `sem_post`: returns a permit, waking one waiter if present.
+    /// V / `sem_post`: returns a permit, waking the longest-blocked waiter
+    /// (FIFO) if one may now proceed.
+    ///
+    /// While the permit count is negative — a "debt" from constructing the
+    /// semaphore with a negative initial value — releases pay the debt
+    /// down toward zero *before* any waiter is woken. (The previous
+    /// behaviour handed the permit to a waiter whenever one was queued,
+    /// which let an acquirer through while the semaphore still owed
+    /// releases: `new(-2)` acted like `new(0)` the moment a waiter
+    /// blocked.)
     pub fn release(&self) {
         charge_sync_op();
-        let woken = self.state.waiters.borrow_mut().pop_front();
+        let st = &*self.state;
+        if st.permits.get() < 0 {
+            st.permits.set(st.permits.get() + 1);
+            return;
+        }
+        let nwaiters = st.waiters.borrow().len() as u64;
+        let woken = st.waiters.borrow_mut().pop_front();
         match woken {
-            Some(w) => wake(w),
-            None => self.state.permits.set(self.state.permits.get() + 1),
+            Some(w) => {
+                // Direct handoff: the permit is consumed on the waiter's
+                // behalf (never parked in `permits`, so a concurrent
+                // `try_acquire` cannot steal it from under the wake).
+                if let Some(rc) = par_ctx() {
+                    let mut inner = rc.borrow_mut();
+                    let obj = inner.sync_id_for(&st.id);
+                    inner.note_sync(crate::trace::BlockReason::Semaphore, obj, nwaiters, 1);
+                }
+                wake(w);
+            }
+            None => st.permits.set(st.permits.get() + 1),
         }
     }
 
@@ -371,8 +449,15 @@ impl Semaphore {
 // ---------------------------------------------------------------------------
 
 struct BarrierState {
+    /// Per-run trace id, assigned at first engine interaction.
+    id: Cell<Option<u32>>,
     n: usize,
     count: Cell<usize>,
+    /// Completed-round counter. Bumped by the leader *before* it wakes
+    /// anyone, so back-to-back reuse (a woken thread re-entering `wait`
+    /// while earlier waiters are still being delivered) always joins a
+    /// fresh round, and a resumed waiter can assert its own round closed.
+    generation: Cell<u64>,
     waiters: RefCell<Vec<ThreadId>>,
 }
 
@@ -389,8 +474,10 @@ impl Barrier {
         assert!(n >= 1);
         Barrier {
             state: Rc::new(BarrierState {
+                id: Cell::new(None),
                 n,
                 count: Cell::new(0),
+                generation: Cell::new(0),
                 waiters: RefCell::new(Vec::new()),
             }),
         }
@@ -404,25 +491,46 @@ impl Barrier {
             return true;
         }
         let rc = par_ctx().expect("Barrier::wait with n > 1 requires a runtime");
-        let arrived = self.state.count.get() + 1;
-        if arrived == self.state.n {
-            self.state.count.set(0);
-            let woken = std::mem::take(&mut *self.state.waiters.borrow_mut());
+        let st = &*self.state;
+        let arrived = st.count.get() + 1;
+        if arrived == st.n {
+            // Leader: close this generation before waking anyone, so the
+            // barrier is immediately reusable — a woken thread re-entering
+            // `wait` starts round g+1 against fully reset state even while
+            // round g's wakes are still being delivered.
+            st.count.set(0);
+            st.generation.set(st.generation.get().wrapping_add(1));
+            let mut woken = std::mem::take(&mut *st.waiters.borrow_mut());
             let mut inner = rc.borrow_mut();
+            let obj = inner.sync_id_for(&st.id);
+            inner.shuffle_wake_order(&mut woken);
+            let n = woken.len() as u64;
+            inner.note_sync(crate::trace::BlockReason::Barrier, obj, n, n);
             let (_, p) = inner.cur.expect("barrier outside a thread");
             for w in woken {
                 inner.make_ready(w, p);
             }
             true
         } else {
-            self.state.count.set(arrived);
+            st.count.set(arrived);
+            let gen = st.generation.get();
             {
                 let me = crate::api::current_thread().expect("barrier outside a thread");
-                self.state.waiters.borrow_mut().push(me);
+                st.waiters.borrow_mut().push(me);
                 let mut inner = rc.borrow_mut();
-                inner.block_current(crate::trace::BlockReason::Barrier);
+                let obj = inner.sync_id_for(&st.id);
+                inner.block_current(crate::trace::BlockReason::Barrier, Some(obj));
             }
             suspend_current(&rc, YieldReason::Blocked);
+            // The leader drains the waiter list atomically while bumping
+            // the generation, so a resumed waiter must observe its own
+            // round closed — a same-generation resume would be a stale
+            // wake from a previous round's delivery leaking across reuse.
+            assert_ne!(
+                st.generation.get(),
+                gen,
+                "barrier waiter resumed with its own round still open"
+            );
             false
         }
     }
@@ -431,6 +539,7 @@ impl Barrier {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::check::{check_trace, Violation};
     use crate::{run, scope, spawn, Config, SchedKind};
 
     #[test]
@@ -473,6 +582,189 @@ mod tests {
         let m = m.into_inner().unwrap_err();
         drop(m2);
         assert_eq!(m.into_inner().unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn semaphore_negative_permits_require_extra_releases() {
+        // Regression: release() used to hand the permit to any queued
+        // waiter even while the count was negative, making `new(-2)`
+        // behave like `new(0)` — the waiter must only run after the debt
+        // is paid *and* one real permit arrives (3 releases for -2).
+        let (order, _) = run(Config::new(2, SchedKind::Fifo), || {
+            let s = Semaphore::new(-2);
+            let log = Mutex::new(Vec::<&'static str>::new());
+            let (s2, log2) = (s.clone(), log.clone());
+            let h = spawn(move || {
+                s2.acquire();
+                log2.lock().push("acquired");
+            });
+            while s.state.waiters.borrow().is_empty() {
+                crate::yield_now();
+            }
+            for _ in 0..3 {
+                log.lock().push("release");
+                s.release();
+            }
+            h.join();
+            assert_eq!(s.permits(), 0, "handoff consumed the permit directly");
+            let v = log.lock().clone();
+            v
+        });
+        assert_eq!(order, ["release", "release", "release", "acquired"]);
+    }
+
+    #[test]
+    fn semaphore_negative_permits_nonblocking_accounting() {
+        let s = Semaphore::new(-1);
+        assert!(!s.try_acquire(), "in debt: nothing to take");
+        s.release();
+        assert_eq!(s.permits(), 0);
+        assert!(!s.try_acquire(), "debt paid but no permit yet");
+        s.release();
+        assert_eq!(s.permits(), 1);
+        assert!(s.try_acquire());
+        assert!(!s.try_acquire());
+    }
+
+    #[test]
+    fn semaphore_wakes_waiters_in_fifo_order() {
+        // p=1 FIFO makes the blocking order deterministic (spawn order);
+        // releases must then admit waiters strictly first-come-first-served.
+        let (order, _) = run(Config::new(1, SchedKind::Fifo), || {
+            let s = Semaphore::new(0);
+            let log = Mutex::new(Vec::new());
+            let handles: Vec<_> = (0..3)
+                .map(|i| {
+                    let (s2, log2) = (s.clone(), log.clone());
+                    spawn(move || {
+                        s2.acquire();
+                        log2.lock().push(i);
+                    })
+                })
+                .collect();
+            while s.state.waiters.borrow().len() < 3 {
+                crate::yield_now();
+            }
+            for _ in 0..3 {
+                s.release();
+            }
+            for h in handles {
+                h.join();
+            }
+            let v = log.lock().clone();
+            v
+        });
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn no_naked_notify_window_under_perturbation() {
+        // Satellite audit of Condvar::notify_one vs a racing wait: the
+        // waiter enqueues itself *before* releasing the mutex and the
+        // engine's yield hooks refuse to preempt a thread that is already
+        // Blocked, so no schedule can slip a notify between the predicate
+        // check and the block. Fuzz the claim across perturbed schedules
+        // and prove every trace causally clean.
+        for kind in [SchedKind::Fifo, SchedKind::Ws] {
+            for seed in 0..16u64 {
+                let cfg = Config::new(4, kind).with_trace().with_perturbation(seed);
+                let (_, report) = run(cfg, || {
+                    let m = Mutex::new(0u32);
+                    let cv = Condvar::new();
+                    scope(|s| {
+                        for _ in 0..4 {
+                            let (m, cv) = (m.clone(), cv.clone());
+                            s.spawn(move || {
+                                let mut g = m.lock();
+                                *g += 1;
+                                cv.notify_one(); // often naked: nobody waits yet
+                                g = cv.wait_while(g, |v| *v < 4);
+                                drop(g);
+                                cv.notify_one(); // unblock the next waiter
+                            });
+                        }
+                    });
+                    assert_eq!(*m.lock(), 4);
+                });
+                let check = check_trace(&report.trace.unwrap());
+                assert!(
+                    check.is_clean(),
+                    "{kind:?} seed {seed}: {:?}",
+                    check.violations
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_immediate_reuse_under_perturbation() {
+        // Back-to-back rounds with zero work between them: a woken thread
+        // re-enters `wait` while the previous round's wakes are still
+        // being delivered (in shuffled order under perturbation). The
+        // generation assert inside `wait` catches stale-round wakes; the
+        // checker proves block/wake pairing for every round.
+        for seed in 0..16u64 {
+            let cfg = Config::new(4, SchedKind::Ws)
+                .with_trace()
+                .with_perturbation(seed);
+            let (_, report) = run(cfg, || {
+                let b = Barrier::new(4);
+                let hits = Mutex::new(vec![0u32; 8]);
+                scope(|s| {
+                    for _ in 0..4 {
+                        let (b, hits) = (b.clone(), hits.clone());
+                        s.spawn(move || {
+                            for round in 0..8 {
+                                b.wait();
+                                hits.lock()[round] += 1;
+                            }
+                        });
+                    }
+                });
+                let v = hits.lock().clone();
+                assert_eq!(v, vec![4; 8], "every round must see all 4 threads");
+            });
+            let check = check_trace(&report.trace.unwrap());
+            assert!(check.is_clean(), "seed {seed}: {:?}", check.violations);
+        }
+    }
+
+    #[test]
+    fn checker_catches_a_dropped_notify() {
+        // Acceptance: an intentionally lossy condvar — records the Notify
+        // a real notify_one would have published, then drops the wake on
+        // the floor — must be flagged by the checker. (A rescue wake lets
+        // the run terminate; the lie is already in the trace.)
+        let (_, report) = run(Config::new(2, SchedKind::Fifo).with_trace(), || {
+            let m = Mutex::new(());
+            let cv = Condvar::new();
+            let (m2, cv2) = (m.clone(), cv.clone());
+            let h = spawn(move || {
+                let g = m2.lock();
+                let _g = cv2.wait(g);
+            });
+            while cv.waiter_count() == 0 {
+                crate::yield_now();
+            }
+            let w = cv.state.waiters.borrow_mut().pop_front().expect("one waiter");
+            {
+                let rc = par_ctx().expect("runtime");
+                let mut inner = rc.borrow_mut();
+                let obj = inner.sync_id_for(&cv.state.id);
+                inner.note_sync(crate::trace::BlockReason::Condvar, obj, 1, 0);
+            }
+            wake(w);
+            h.join();
+        });
+        let check = check_trace(&report.trace.unwrap());
+        assert!(
+            check
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::LostNotify { waiters: 1, .. })),
+            "lossy notify must be flagged, got {:?}",
+            check.violations
+        );
     }
 
     #[test]

@@ -95,7 +95,8 @@ pub enum BlockReason {
 }
 
 impl BlockReason {
-    fn name(self) -> &'static str {
+    /// Stable reason name (used in the Chrome export and checker reports).
+    pub fn name(self) -> &'static str {
         match self {
             BlockReason::Join => "join",
             BlockReason::Mutex => "mutex",
@@ -135,9 +136,31 @@ pub enum EventKind {
     Block {
         /// Which primitive.
         reason: BlockReason,
+        /// Per-run id of the sync object blocked on (`None` for joins,
+        /// which block on a thread, not an object).
+        obj: Option<u32>,
     },
     /// A blocked thread was made ready.
-    Wake,
+    Wake {
+        /// Thread that published the wake (`None` only for wakes issued
+        /// outside any thread context).
+        waker: Option<u32>,
+    },
+    /// A wake-capable sync operation (notify, post, barrier completion,
+    /// lock handoff) executed; records what the primitive observed and
+    /// claimed atomically, which is what lets the happens-before checker
+    /// ([`crate::check_trace`]) catch lost notifies without reconstructing
+    /// wait-list state from interleaved timestamps.
+    Notify {
+        /// Primitive kind performing the wake.
+        reason: BlockReason,
+        /// Per-run id of the sync object.
+        obj: u32,
+        /// Waiters present when the operation ran.
+        waiters: u64,
+        /// Waiters the operation actually woke.
+        woken: u64,
+    },
     /// A join completed (the joiner observed the target's exit).
     Join {
         /// The joined (exited) thread.
@@ -184,7 +207,8 @@ impl EventKind {
             EventKind::Spawn { .. } => "spawn",
             EventKind::FirstDispatch => "first-dispatch",
             EventKind::Block { .. } => "block",
-            EventKind::Wake => "wake",
+            EventKind::Wake { .. } => "wake",
+            EventKind::Notify { .. } => "notify",
             EventKind::Join { .. } => "join",
             EventKind::Steal { .. } => "steal",
             EventKind::DummyInsert { .. } => "dummy-insert",
@@ -273,6 +297,9 @@ pub struct TraceMeta {
     pub default_stack: u64,
     /// DF memory quota `K`, for the quota-carrying policies.
     pub quota: Option<u64>,
+    /// Schedule-perturbation seed the run used, if any — together with
+    /// `scheduler` this is the full replay recipe for the schedule.
+    pub perturb_seed: Option<u64>,
 }
 
 /// A recorded flight-recorder trace.
@@ -649,8 +676,24 @@ impl Trace {
                     "parent",
                     parent.map_or(Value::Null, |p| Value::UInt(p as u64)),
                 )),
-                EventKind::Block { reason } => {
-                    args.push(("reason", Value::Str(reason.name().into())))
+                EventKind::Block { reason, obj } => {
+                    args.push(("reason", Value::Str(reason.name().into())));
+                    args.push(("obj", obj.map_or(Value::Null, |o| Value::UInt(o as u64))));
+                }
+                EventKind::Wake { waker } => args.push((
+                    "waker",
+                    waker.map_or(Value::Null, |w| Value::UInt(w as u64)),
+                )),
+                EventKind::Notify {
+                    reason,
+                    obj,
+                    waiters,
+                    woken,
+                } => {
+                    args.push(("reason", Value::Str(reason.name().into())));
+                    args.push(("obj", Value::UInt(obj as u64)));
+                    args.push(("waiters", Value::UInt(waiters)));
+                    args.push(("woken", Value::UInt(woken)));
                 }
                 EventKind::Join { target } => args.push(("target", Value::UInt(target as u64))),
                 EventKind::Steal { victim } => args.push((
@@ -662,7 +705,7 @@ impl Trace {
                 | EventKind::StackRelease { bytes }
                 | EventKind::Alloc { bytes }
                 | EventKind::Free { bytes } => args.push(("bytes", Value::UInt(bytes))),
-                EventKind::FirstDispatch | EventKind::Wake | EventKind::Preempt => {}
+                EventKind::FirstDispatch | EventKind::Preempt => {}
             }
             records.push(obj(vec![
                 ("name", Value::Str(e.kind.name().into())),
@@ -727,6 +770,10 @@ impl Trace {
                         "quota",
                         self.meta.quota.map_or(Value::Null, Value::UInt),
                     ),
+                    (
+                        "perturbSeed",
+                        self.meta.perturb_seed.map_or(Value::Null, Value::UInt),
+                    ),
                 ]),
             ),
             ("ptdfThreads", Value::Arr(threads)),
@@ -755,6 +802,7 @@ impl Trace {
                     .and_then(Value::as_u64)
                     .unwrap_or(0),
                 quota: meta.get("quota").and_then(Value::as_u64),
+                perturb_seed: meta.get("perturbSeed").and_then(Value::as_u64),
             };
         }
         let records = doc
@@ -791,8 +839,19 @@ impl Trace {
                             reason: arg_str("reason")
                                 .and_then(BlockReason::from_name)
                                 .ok_or("block without reason")?,
+                            obj: arg_u64("obj").map(|v| v as u32),
                         },
-                        "wake" => EventKind::Wake,
+                        "wake" => EventKind::Wake {
+                            waker: arg_u64("waker").map(|v| v as u32),
+                        },
+                        "notify" => EventKind::Notify {
+                            reason: arg_str("reason")
+                                .and_then(BlockReason::from_name)
+                                .ok_or("notify without reason")?,
+                            obj: arg_u64("obj").ok_or("notify without obj")? as u32,
+                            waiters: arg_u64("waiters").ok_or("notify without waiters")?,
+                            woken: arg_u64("woken").ok_or("notify without woken")?,
+                        },
                         "join" => EventKind::Join {
                             target: arg_u64("target").ok_or("join without target")? as u32,
                         },
@@ -994,7 +1053,7 @@ mod tests {
             .events
             .iter()
             .filter_map(|e| match e.kind {
-                EventKind::Block { reason } => Some(reason),
+                EventKind::Block { reason, .. } => Some(reason),
                 _ => None,
             })
             .collect();
@@ -1006,7 +1065,7 @@ mod tests {
         let wakes = trace
             .events
             .iter()
-            .filter(|e| matches!(e.kind, EventKind::Wake))
+            .filter(|e| matches!(e.kind, EventKind::Wake { .. }))
             .count();
         assert!(wakes >= 1, "barrier completion must produce a wake event");
         trace.validate().expect("valid fifo trace");

@@ -28,6 +28,7 @@ mod cache;
 mod cost;
 mod heap;
 mod machine;
+mod perturb;
 mod record;
 mod stats;
 mod time;
@@ -37,6 +38,7 @@ pub use cache::CacheModel;
 pub use cost::{CacheParams, CostModel, StackClass};
 pub use heap::{HeapModel, StackPool};
 pub use machine::{Machine, ProcId};
+pub use perturb::Prng;
 pub use record::{MachineRecording, MemEvent, MemEventKind};
 pub use stats::{Bucket, MemStats, ProcStats, RunStats, TimeBreakdown};
 pub use time::VirtTime;

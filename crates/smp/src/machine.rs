@@ -4,6 +4,7 @@
 use crate::cache::CacheModel;
 use crate::cost::CostModel;
 use crate::heap::{HeapModel, StackPool};
+use crate::perturb::Prng;
 use crate::record::{MachineRecording, MemEventKind, Recorder};
 use crate::stats::{Bucket, MemStats, ProcStats, RunStats};
 use crate::time::VirtTime;
@@ -45,7 +46,20 @@ pub struct Machine {
     prune_tick: u64,
     /// Flight recording, when enabled (see [`Machine::enable_recording`]).
     recorder: Option<Box<Recorder>>,
+    /// Schedule perturbation, when enabled (see
+    /// [`Machine::enable_perturbation`]).
+    perturb: Option<Prng>,
 }
+
+/// Maximum extra nanoseconds the perturbation mode injects at one
+/// sync-operation boundary. Small relative to every modelled cost, so the
+/// jitter reorders virtually-concurrent operations without distorting the
+/// run's aggregate timing.
+const SYNC_JITTER_NS: u64 = 96;
+
+/// Maximum nanoseconds a perturbed scheduler-lock acquirer loses before
+/// contending (modelling another processor reaching the lock word first).
+const LOCK_DEFER_NS: u64 = 48;
 
 impl Machine {
     /// Creates a machine with `p` processors, the given cost model, and a
@@ -68,7 +82,23 @@ impl Machine {
             dummy_threads: 0,
             prune_tick: 0,
             recorder: None,
+            perturb: None,
         }
+    }
+
+    /// Enables the seeded schedule-perturbation mode: sync-operation
+    /// boundaries gain a small deterministic clock jitter and scheduler-lock
+    /// acquisitions may lose a modelled race, both driven by a [`Prng`]
+    /// seeded from `seed`. The perturbed timeline is still fully
+    /// deterministic: the same `(cost model, seed)` pair replays the exact
+    /// same schedule.
+    pub fn enable_perturbation(&mut self, seed: u64) {
+        self.perturb = Some(Prng::new(seed ^ 0xA5A5_0000_5A5A_FFFF));
+    }
+
+    /// Whether perturbation mode is on.
+    pub fn perturbed(&self) -> bool {
+        self.perturb.is_some()
     }
 
     /// Starts flight recording: memory-system events (allocs/frees of at
@@ -129,7 +159,14 @@ impl Machine {
     /// for one critical section; charges contention wait and CS time.
     pub fn sched_lock(&mut self, p: ProcId) {
         let now = self.procs[p].clock;
-        let (wait, release) = self.sched_lock.acquire(now, self.cost.sched_cs);
+        let hold = self.cost.sched_cs;
+        let (wait, release) = match self.perturb.as_mut() {
+            Some(prng) => {
+                let defer = VirtTime::from_ns(prng.below(LOCK_DEFER_NS + 1));
+                self.sched_lock.acquire_deferred(now, hold, defer)
+            }
+            None => self.sched_lock.acquire(now, hold),
+        };
         self.charge(p, Bucket::SchedWait, wait);
         self.charge(p, Bucket::SchedCs, release.since(now + wait));
         if wait > VirtTime::ZERO {
@@ -293,9 +330,16 @@ impl Machine {
         self.charge(p, Bucket::ThreadOp, dur);
     }
 
-    /// Charges a synchronization-primitive cost.
+    /// Charges a synchronization-primitive cost. Under perturbation mode
+    /// every sync-operation boundary also gains a small deterministic
+    /// jitter, which reorders virtually-concurrent sync operations across
+    /// processors (the engine dispatches by minimum clock).
     pub fn sync_op(&mut self, p: ProcId, dur: VirtTime) {
-        self.charge(p, Bucket::Sync, dur);
+        let jitter = match self.perturb.as_mut() {
+            Some(prng) => VirtTime::from_ns(prng.below(SYNC_JITTER_NS + 1)),
+            None => VirtTime::ZERO,
+        };
+        self.charge(p, Bucket::Sync, dur + jitter);
     }
 
     /// Charges application compute of `cycles` cycles on `p`.
@@ -454,6 +498,30 @@ mod tests {
         let mut m = machine(1);
         m.alloc(0, 4096);
         assert!(m.take_recording().is_none());
+    }
+
+    #[test]
+    fn perturbation_jitters_sync_ops_deterministically() {
+        let run = |seed: Option<u64>| {
+            let mut m = machine(2);
+            if let Some(s) = seed {
+                m.enable_perturbation(s);
+            }
+            for _ in 0..32 {
+                m.sync_op(0, VirtTime::from_ns(500));
+                m.sched_lock(1);
+            }
+            (m.clock(0), m.clock(1))
+        };
+        let base = run(None);
+        let a = run(Some(7));
+        let b = run(Some(7));
+        let c = run(Some(8));
+        assert_eq!(a, b, "same seed must replay bit-exactly");
+        assert_ne!(a, base, "perturbation must change the timeline");
+        assert_ne!(a, c, "different seeds must explore different timelines");
+        // Jitter is bounded: 32 sync ops can add at most 32 * 96ns.
+        assert!(a.0.since(base.0) <= VirtTime::from_ns(32 * 96));
     }
 
     #[test]

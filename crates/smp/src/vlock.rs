@@ -80,6 +80,25 @@ impl VirtualLock {
         (wait, VirtTime::from_ns(t + hold_ns))
     }
 
+    /// Perturbed acquire: like [`VirtualLock::acquire`], but the acquirer
+    /// loses `defer` nanoseconds of the race before contending — modelling a
+    /// schedule in which another processor reached the lock word first.
+    /// The returned `wait` still measures from the *original* `now`, so the
+    /// deferral is charged as contention, and the busy-interval bookkeeping
+    /// stays identical to an acquirer that genuinely arrived late.
+    pub fn acquire_deferred(
+        &mut self,
+        now: VirtTime,
+        hold: VirtTime,
+        defer: VirtTime,
+    ) -> (VirtTime, VirtTime) {
+        let (_, release) = self.acquire(now + defer, hold);
+        // `acquire` accumulated the post-defer wait; the defer itself is
+        // also contention from the true arrival's point of view.
+        self.total_wait += defer;
+        (release.since(now + hold), release)
+    }
+
     /// Discards busy intervals entirely before `watermark` (they can no
     /// longer affect any acquirer). Call occasionally with the minimum
     /// processor clock to bound memory.
@@ -168,6 +187,33 @@ mod tests {
         let (wait, rel) = l.acquire(ns(50), ns(0));
         assert_eq!(wait, ns(0));
         assert_eq!(rel, ns(50));
+    }
+
+    #[test]
+    fn deferred_acquire_charges_the_lost_race() {
+        let mut l = VirtualLock::new();
+        // Uncontended but deferred by 20ns: wait is exactly the deferral.
+        let (wait, rel) = l.acquire_deferred(ns(100), ns(10), ns(20));
+        assert_eq!(wait, ns(20));
+        assert_eq!(rel, ns(130));
+        // Deferred into an existing hold: waits the deferral + the overlap.
+        let (wait, rel) = l.acquire_deferred(ns(115), ns(10), ns(5));
+        assert_eq!(wait, ns(15));
+        assert_eq!(rel, ns(140));
+        let (_, total_wait, _) = l.counters();
+        assert_eq!(total_wait, ns(35));
+    }
+
+    #[test]
+    fn deferred_acquire_with_zero_defer_matches_plain() {
+        let mut a = VirtualLock::new();
+        let mut b = VirtualLock::new();
+        a.acquire(ns(50), ns(30));
+        b.acquire(ns(50), ns(30));
+        assert_eq!(
+            a.acquire(ns(60), ns(10)),
+            b.acquire_deferred(ns(60), ns(10), ns(0))
+        );
     }
 
     #[test]

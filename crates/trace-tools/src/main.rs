@@ -3,7 +3,7 @@
 //! The runtime's flight recorder ([`ptdf::Trace`], enabled with
 //! [`ptdf::Config::with_trace`]) exports Chrome/Perfetto trace-event JSON.
 //! This tool reads those files back (they round-trip losslessly through
-//! `Trace::from_chrome_json`) and offers three subcommands:
+//! `Trace::from_chrome_json`) and offers four subcommands:
 //!
 //! * `summarize <trace.json>` — configuration echo, span/event tallies,
 //!   counter-track maxima, and per-thread lifecycle percentiles
@@ -14,6 +14,11 @@
 //!   `S1 + O(p·D)` guarantee: with `--s1` (serial footprint, bytes) and
 //!   `--depth` (per-processor depth allowance, bytes) the footprint
 //!   high-water mark must stay within `S1 + factor·p·depth`.
+//! * `check <trace.json>...` — run the happens-before checker
+//!   ([`ptdf::check_trace`]) over each trace: lost notifies/wakeups,
+//!   wait-past-notify, block/wake pairing, lifecycle inversions. Prints a
+//!   replay recipe (`--sched <policy> --perturb-seed <seed>`) for any
+//!   trace recorded under schedule perturbation.
 //! * `diff <a.json> <b.json>` — side-by-side comparison of two traces
 //!   (schedulers, footprint, event counts, latency percentiles).
 //!
@@ -30,6 +35,7 @@ fn main() -> ExitCode {
     let code = match args.first().map(String::as_str) {
         Some("summarize") => cmd_summarize(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprint!("{USAGE}");
@@ -57,6 +63,10 @@ commands:
       Structural validation; with --s1 and --depth also audits the
       footprint high-water mark against S1 + factor * p * depth
       (factor defaults to 1.0).
+  check <trace.json>...
+      Happens-before checking: lost notifies/wakeups, wait-past-notify,
+      block/wake pairing, lifecycle inversions. Exits 1 if any trace
+      has violations; prints the replay recipe when one is recorded.
   diff <a.json> <b.json>
       Compare two traces side by side.
 ";
@@ -240,6 +250,65 @@ fn parse_flag_u64(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<u
 }
 
 // ---------------------------------------------------------------------------
+// check
+// ---------------------------------------------------------------------------
+
+fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
+    if args.is_empty() {
+        return Err(format!("check expects at least one trace file\n{USAGE}"));
+    }
+    let mut dirty = false;
+    for path in args {
+        let trace = load(path)?;
+        let report = ptdf::check_trace(&trace);
+        print!("{}", render_check(path, &report));
+        dirty |= !report.is_clean();
+    }
+    Ok(if dirty {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+/// Renders one trace's checker verdict.
+fn render_check(path: &str, report: &ptdf::CheckReport) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    if report.is_clean() {
+        let _ = writeln!(
+            out,
+            "{path}: clean ({} events, {} threads)",
+            report.events, report.threads
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "{path}: {} violation(s) in {} events across {} threads",
+            report.violations.len(),
+            report.events,
+            report.threads
+        );
+        for v in &report.violations {
+            let _ = writeln!(out, "  {v}");
+        }
+        match &report.replay {
+            Some(recipe) => {
+                let _ = writeln!(out, "  replay: {recipe}");
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  replay: trace was not recorded under perturbation \
+                     (re-run with Config::with_perturbation)"
+                );
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // diff
 // ---------------------------------------------------------------------------
 
@@ -370,6 +439,53 @@ mod tests {
         assert!(d.contains("ws"), "{d}");
         assert!(d.contains("footprint hwm B"), "{d}");
         assert!(d.contains("  spawn"), "{d}");
+    }
+
+    #[test]
+    fn check_reports_clean_on_a_healthy_trace() {
+        let (_, report) = run(
+            Config::new(2, SchedKind::Df).with_trace().with_perturbation(7),
+            || {
+                let m = ptdf::Mutex::new(0u32);
+                ptdf::scope(|s| {
+                    for _ in 0..3 {
+                        let m = m.clone();
+                        s.spawn(move || *m.lock() += 1);
+                    }
+                });
+            },
+        );
+        let t = report.trace.unwrap();
+        let c = ptdf::check_trace(&t);
+        let rendered = render_check("t.json", &c);
+        assert!(c.is_clean(), "{rendered}");
+        assert!(rendered.contains("clean"), "{rendered}");
+    }
+
+    #[test]
+    fn check_prints_violations_and_replay_recipe() {
+        let mut t = sample_trace(SchedKind::Fifo);
+        t.meta.perturb_seed = Some(99);
+        // Forge a lost notify: one waiter observed, zero woken.
+        t.events.push(ptdf::trace::Event {
+            at: ptdf_smp::VirtTime::from_ns(1),
+            thread: Some(0),
+            proc: 0,
+            kind: ptdf::trace::EventKind::Notify {
+                reason: ptdf::trace::BlockReason::Condvar,
+                obj: 0,
+                waiters: 1,
+                woken: 0,
+            },
+        });
+        let c = ptdf::check_trace(&t);
+        assert!(!c.is_clean());
+        let rendered = render_check("t.json", &c);
+        assert!(rendered.contains("violation"), "{rendered}");
+        assert!(
+            rendered.contains("--sched fifo --perturb-seed 99"),
+            "{rendered}"
+        );
     }
 
     #[test]

@@ -81,6 +81,40 @@ proptest! {
     }
 
     #[test]
+    fn chaos_is_invariant_under_perturbation(
+        seed in 1u64..u64::MAX,
+        pseed in 0u64..u64::MAX,
+        procs in 1usize..9,
+    ) {
+        // Schedule perturbation (jittered sync costs, shuffled wakes,
+        // randomized tie-breaks) must never change what the program
+        // computes — only when. Compare a perturbed cell against the
+        // deterministic baseline of the same policy.
+        let depth = 4;
+        let expected_nodes = count_nodes(seed, depth);
+        let quick = std::env::var_os("REPRO_QUICK").is_some();
+        let kinds: &[SchedKind] = if quick {
+            &[SchedKind::Df, SchedKind::Ws]
+        } else {
+            &[SchedKind::Fifo, SchedKind::Lifo, SchedKind::Df, SchedKind::DfDeques, SchedKind::Ws]
+        };
+        for &kind in kinds {
+            let body = move || {
+                let counter = Mutex::new(0u64);
+                let sum = chaos(seed, depth, &counter);
+                let hits = *counter.lock();
+                (sum, hits)
+            };
+            let (base, _) = ptdf::run(Config::new(procs, kind), body);
+            let cfg = Config::new(procs, kind).with_perturbation(pseed);
+            let (pert, report) = ptdf::run(cfg, body);
+            prop_assert_eq!(pert.1, expected_nodes, "{:?} pseed {}: hit count", kind, pseed);
+            prop_assert_eq!(pert.0, base.0, "{:?} pseed {}: checksum drifted", kind, pseed);
+            prop_assert_eq!(report.total_threads as u64, expected_nodes, "{:?}", kind);
+        }
+    }
+
+    #[test]
     fn df_space_discipline_under_chaos(seed in 1u64..u64::MAX) {
         let depth = 6;
         let (_, fifo) = ptdf::run(Config::new(4, SchedKind::Fifo), move || {
