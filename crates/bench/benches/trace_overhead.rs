@@ -13,6 +13,9 @@
 //!    0.03 = 3%) of the baseline, exiting nonzero on a regression. Points
 //!    over tolerance are individually re-measured (best-of) before being
 //!    flagged, so shared-host scheduling noise doesn't trip the gate.
+//!    Guard mode also re-runs the engine spawn storm and holds the pooled
+//!    fiber-stack path to the committed baseline, to the unpooled path,
+//!    and to a ≥90% pool hit rate.
 //!
 //! Run with: `cargo bench -p ptdf-bench --bench trace_overhead`
 //! (`REPRO_QUICK=1` for the CI smoke configuration.)
@@ -140,7 +143,71 @@ fn guard() -> i32 {
         eprintln!("guard: no comparable baseline entries (size sweeps differ)");
         return 1;
     }
+
+    failed |= spawn_guard(&doc, tol);
     i32::from(failed)
+}
+
+/// Holds the line on the pooled spawn path: fresh pooled ns/spawn must stay
+/// within tolerance of the committed baseline (when one is present for this
+/// storm size) *and* of the fresh unpooled measurement, and the pool must
+/// actually serve the storm (≥90% hit rate on the real-stack backend).
+fn spawn_guard(doc: &Value, tol: f64) -> bool {
+    const GUARD_RETRIES: usize = 4;
+    let points = wallclock::run_spawn_storms();
+    let Some(pooled) = points.iter().find(|p| p.pool == "pooled") else {
+        return true;
+    };
+    let Some(unpooled) = points.iter().find(|p| p.pool == "unpooled") else {
+        return true;
+    };
+
+    let mut targets = vec![("unpooled (fresh)", unpooled.ns_per_spawn)];
+    let baseline = doc.get("spawn_storm").and_then(Value::as_arr).and_then(|arr| {
+        arr.iter()
+            .find(|b| {
+                b.get("pool").and_then(Value::as_str) == Some("pooled")
+                    && b.get("threads").and_then(Value::as_u64) == Some(pooled.threads)
+            })
+            .and_then(|b| b.get("ns_per_spawn").and_then(Value::as_f64))
+    });
+    match baseline {
+        Some(base) => targets.push(("baseline", base)),
+        None => println!("  spawn_storm: no committed baseline for {} threads", pooled.threads),
+    }
+
+    let mut best = pooled.ns_per_spawn;
+    let limit = targets
+        .iter()
+        .map(|&(_, t)| t)
+        .fold(f64::INFINITY, f64::min)
+        * (1.0 + tol);
+    let mut retries = 0;
+    while best > limit && retries < GUARD_RETRIES {
+        best = best.min(wallclock::remeasure_spawn_pooled().ns_per_spawn);
+        retries += 1;
+    }
+
+    let mut failed = false;
+    for (name, target) in targets {
+        let ratio = best / target;
+        let verdict = if ratio <= 1.0 + tol { "ok" } else { "REGRESSION" };
+        println!(
+            "  spawn_storm pooled @{:>7}: {best:.1} ns vs {target:.1} ns {name} ({:+.1}%, {retries} retries) {verdict}",
+            pooled.threads,
+            (ratio - 1.0) * 100.0
+        );
+        failed |= ratio > 1.0 + tol;
+    }
+
+    if ptdf_fiber::HAS_REAL_STACKS && pooled.pool_hit_rate < 0.9 {
+        println!(
+            "  spawn_storm pooled hit rate {:.4} < 0.9 REGRESSION",
+            pooled.pool_hit_rate
+        );
+        failed = true;
+    }
+    failed
 }
 
 /// Baseline `ns_per_dispatch` for the same (storm, impl, size) point.

@@ -55,7 +55,24 @@ fn main() {
     }
     t.finish();
 
+    let spawn = wallclock::run_spawn_storms();
+    let mut t = Table::new(
+        "wallclock_spawn",
+        "Engine spawn storm: host ns per fork/join (stack pool on vs off)",
+        &["pool", "threads", "ns/spawn", "pool hit rate"],
+    );
+    for p in &spawn {
+        t.row(vec![
+            p.pool.to_string(),
+            p.threads.to_string(),
+            format!("{:.1}", p.ns_per_spawn),
+            format!("{:.4}", p.pool_hit_rate),
+        ]);
+    }
+    t.finish();
+
     let path = wallclock::json_path();
-    std::fs::write(&path, wallclock::to_json(&micro, &apps)).expect("write BENCH_sched.json");
+    std::fs::write(&path, wallclock::to_json(&micro, &apps, &spawn))
+        .expect("write BENCH_sched.json");
     println!("[json written to {}]", path.display());
 }

@@ -21,6 +21,14 @@
 //!    reduced scale under every scheduler, reporting total host runtime and
 //!    host nanoseconds per engine dispatch.
 //!
+//! 3. **Spawn storm** — a 100k-thread fork/join churn through the full
+//!    engine, run twice: with the fiber stack pool (the default) and with
+//!    it disabled (`Config::with_stack_pool_cap(0)`). Reports host
+//!    nanoseconds per spawn and the pool hit rate; the overhead guard
+//!    (`trace_overhead --bench`, `TRACE_GUARD=1`) uses both to hold the
+//!    line that pooled spawn is never slower than the committed baseline
+//!    or than the unpooled path.
+//!
 //! `REPRO_QUICK=1` shrinks the storm sizes and budgets for CI smoke runs.
 
 use std::fmt::Write as _;
@@ -301,6 +309,79 @@ pub fn run_apps(procs: usize) -> Vec<AppPoint> {
     out
 }
 
+/// One spawn-storm measurement: the engine's fork/join churn with the
+/// fiber-stack pool on or off.
+#[derive(Debug, Clone)]
+pub struct SpawnPoint {
+    /// "pooled" (default config) or "unpooled" (`stack_pool_cap = 0`).
+    pub pool: &'static str,
+    /// Threads spawned and joined over the run.
+    pub threads: u64,
+    /// Host nanoseconds per spawn+join (total runtime / threads).
+    pub ns_per_spawn: f64,
+    /// Fraction of fiber stacks served from the pool (0 when disabled or
+    /// on the portable thread backend, which has no real stacks).
+    pub pool_hit_rate: f64,
+}
+
+/// Threads in the spawn storm (the acceptance scale: 100k fork/joins).
+pub fn spawn_storm_threads() -> u64 {
+    if quick() {
+        20_000
+    } else {
+        100_000
+    }
+}
+
+/// One spawn-storm run: `threads` fork/joins in waves of 64 so the live
+/// set stays small and every exit feeds the next wave's acquires.
+fn spawn_storm_once(threads: u64, pool_cap: usize) -> SpawnPoint {
+    let cfg = Config::new(4, SchedKind::Df).with_stack_pool_cap(pool_cap);
+    let start = Instant::now();
+    let (_, report) = ptdf::run(cfg, move || {
+        let mut done = 0u64;
+        while done < threads {
+            let wave = 64.min(threads - done);
+            let handles: Vec<_> = (0..wave).map(|_| ptdf::spawn(|| ())).collect();
+            for h in handles {
+                h.join();
+            }
+            done += wave;
+        }
+    });
+    let host = start.elapsed();
+    SpawnPoint {
+        pool: if pool_cap == 0 { "unpooled" } else { "pooled" },
+        threads,
+        ns_per_spawn: host.as_nanos() as f64 / threads as f64,
+        pool_hit_rate: report.stack_pool_hit_rate(),
+    }
+}
+
+/// Runs the spawn storm pooled and unpooled, keeping the best of
+/// `STORM_REPS` repetitions per configuration.
+pub fn run_spawn_storms() -> Vec<SpawnPoint> {
+    let threads = spawn_storm_threads();
+    [ptdf_fiber::DEFAULT_POOL_CAP, 0]
+        .into_iter()
+        .map(|cap| {
+            let mut best = spawn_storm_once(threads, cap);
+            for _ in 1..STORM_REPS {
+                let p = spawn_storm_once(threads, cap);
+                if p.ns_per_spawn < best.ns_per_spawn {
+                    best = p;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+/// Re-measures the pooled spawn storm once (the guard's retry hook).
+pub fn remeasure_spawn_pooled() -> SpawnPoint {
+    spawn_storm_once(spawn_storm_threads(), ptdf_fiber::DEFAULT_POOL_CAP)
+}
+
 fn json_f(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.1}")
@@ -310,7 +391,7 @@ fn json_f(v: f64) -> String {
 }
 
 /// Renders the whole result set as the `BENCH_sched.json` document.
-pub fn to_json(micro: &[StormPoint], apps: &[AppPoint]) -> String {
+pub fn to_json(micro: &[StormPoint], apps: &[AppPoint], spawn: &[SpawnPoint]) -> String {
     let mut s = String::new();
     s.push_str("{\n  \"bench\": \"wallclock\",\n");
     let _ = writeln!(s, "  \"quick\": {},", quick());
@@ -347,6 +428,18 @@ pub fn to_json(micro: &[StormPoint], apps: &[AppPoint]) -> String {
             a.virt_makespan_ns
         );
         s.push_str(if i + 1 < apps.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n  \"spawn_storm\": [\n");
+    for (i, p) in spawn.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"pool\": \"{}\", \"threads\": {}, \"ns_per_spawn\": {}, \"pool_hit_rate\": {:.4}}}",
+            p.pool,
+            p.threads,
+            json_f(p.ns_per_spawn),
+            p.pool_hit_rate
+        );
+        s.push_str(if i + 1 < spawn.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ]\n}\n");
     s

@@ -38,7 +38,8 @@ const ST_DONE: u8 = 3;
 /// OS thread (the virtual-SMP engine), which keeps the unsafe surface small.
 pub struct Coroutine<In, Y, R> {
     shared: Box<Shared<In, Y, R>>,
-    stack: Stack,
+    /// `Some` until [`Coroutine::into_stack`] moves the stack out for reuse.
+    stack: Option<Stack>,
     /// Set for `Created` coroutines so an unused entry thunk can be reclaimed.
     pending_thunk: *mut EntryThunk,
     _not_send: PhantomData<*mut ()>,
@@ -93,6 +94,19 @@ impl<In, Y, R> Coroutine<In, Y, R> {
         unsafe { Self::new_unchecked(stack_size, body) }
     }
 
+    /// Like [`Coroutine::new`] but runs `body` on a caller-supplied stack —
+    /// typically one recycled through a [`StackPool`](crate::StackPool).
+    pub fn with_stack<F>(stack: Stack, body: F) -> Self
+    where
+        F: FnOnce(&Yielder<In, Y, R>, In) -> R + 'static,
+        In: 'static,
+        Y: 'static,
+        R: 'static,
+    {
+        // SAFETY: 'static bounds satisfy the unchecked contract trivially.
+        unsafe { Self::with_stack_unchecked(stack, body) }
+    }
+
     /// Creates a coroutine whose body is not `'static`.
     ///
     /// # Safety
@@ -105,7 +119,17 @@ impl<In, Y, R> Coroutine<In, Y, R> {
     where
         F: FnOnce(&Yielder<In, Y, R>, In) -> R,
     {
-        let stack = Stack::new(stack_size);
+        Self::with_stack_unchecked(Stack::new(stack_size), body)
+    }
+
+    /// [`Coroutine::with_stack`] for a non-`'static` body.
+    ///
+    /// # Safety
+    /// Same contract as [`Coroutine::new_unchecked`].
+    pub unsafe fn with_stack_unchecked<F>(stack: Stack, body: F) -> Self
+    where
+        F: FnOnce(&Yielder<In, Y, R>, In) -> R,
+    {
         let shared = Box::new(Shared::<In, Y, R> {
             fiber_sp: Cell::new(std::ptr::null_mut()),
             caller_sp: Cell::new(std::ptr::null_mut()),
@@ -167,7 +191,7 @@ impl<In, Y, R> Coroutine<In, Y, R> {
 
         Coroutine {
             shared,
-            stack,
+            stack: Some(stack),
             pending_thunk: thunk,
             _not_send: PhantomData,
         }
@@ -213,12 +237,24 @@ impl<In, Y, R> Coroutine<In, Y, R> {
 
     /// The coroutine's stack, for canary checks / usage statistics.
     pub fn stack(&self) -> &Stack {
-        &self.stack
+        self.stack.as_ref().expect("stack still owned")
     }
-}
 
-impl<In, Y, R> Drop for Coroutine<In, Y, R> {
-    fn drop(&mut self) {
+    /// Consumes the coroutine and returns its stack for recycling.
+    ///
+    /// If the body has not finished, the same cleanup [`Drop`] would perform
+    /// runs first (thunk reclaim for a never-resumed coroutine, forced unwind
+    /// for a suspended one), so the returned stack carries no live frames.
+    /// Always returns `Some` on this backend; the portable thread backend's
+    /// placeholder stacks return `None` (see [`crate::HAS_REAL_STACKS`]).
+    pub fn into_stack(mut self) -> Option<Stack> {
+        self.cleanup();
+        self.stack.take()
+    }
+
+    /// Releases everything except the stack: reclaims a never-run entry
+    /// thunk, force-unwinds a suspended fiber. Idempotent; `Drop` calls it.
+    fn cleanup(&mut self) {
         match self.shared.state.get() {
             ST_DONE => {}
             ST_CREATED => {
@@ -231,6 +267,8 @@ impl<In, Y, R> Drop for Coroutine<In, Y, R> {
                     let thunk = Box::from_raw(self.pending_thunk);
                     drop(Box::from_raw(thunk.payload as *mut Box<dyn FnOnce()>));
                 }
+                self.pending_thunk = std::ptr::null_mut();
+                self.shared.state.set(ST_DONE);
             }
             ST_SUSPENDED => {
                 // Force-unwind the fiber so destructors on its stack run.
@@ -261,6 +299,12 @@ impl<In, Y, R> Drop for Coroutine<In, Y, R> {
     }
 }
 
+impl<In, Y, R> Drop for Coroutine<In, Y, R> {
+    fn drop(&mut self) {
+        self.cleanup();
+    }
+}
+
 /// Installs (once) a panic hook that suppresses [`ForcedUnwind`] payloads
 /// and forwards everything else to the previously installed hook.
 fn install_forced_unwind_filter() {
@@ -285,7 +329,7 @@ impl<In, Y, R> fmt::Debug for Coroutine<In, Y, R> {
         };
         f.debug_struct("Coroutine")
             .field("state", &state)
-            .field("stack_size", &self.stack.size())
+            .field("stack_size", &self.stack.as_ref().map_or(0, Stack::size))
             .finish()
     }
 }

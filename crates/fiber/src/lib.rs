@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 mod coro_api;
+mod pool;
 mod stack;
 
 #[cfg(all(target_arch = "x86_64", not(feature = "thread-backend")))]
@@ -58,7 +59,15 @@ mod thread_coro;
 pub use thread_coro::{Coroutine, Yielder};
 
 pub use coro_api::{ForcedUnwind, Step};
+pub use pool::{StackPool, StackPoolStats, DEFAULT_POOL_CAP};
 pub use stack::{Stack, StackOverflow, DEFAULT_STACK_SIZE, MIN_STACK_SIZE};
+
+/// True when this build's [`Coroutine`] runs on real, recyclable host stacks
+/// (the assembly backend). The portable thread backend parks one OS thread
+/// per coroutine instead; its `into_stack` always returns `None`, so a
+/// [`StackPool`] never gets a stack back and every acquire is a miss.
+pub const HAS_REAL_STACKS: bool =
+    cfg!(all(target_arch = "x86_64", not(feature = "thread-backend")));
 
 #[cfg(test)]
 mod coro_tests;

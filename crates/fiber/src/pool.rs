@@ -1,0 +1,221 @@
+//! Recycling pool for real fiber stacks.
+//!
+//! Allocating and freeing a fresh host stack on every spawn is exactly the
+//! per-thread cost the SC'98 paper's overhead figure attributes to thread
+//! packages, and the cure is the same one Solaris used for its cached thread
+//! stacks: keep exited stacks in a size-classed free list and hand them back
+//! out on the next spawn. [`StackPool`] is that free list for the fiber
+//! layer's *host* stacks (the memory the fiber actually executes on, as
+//! opposed to the runtime's virtual stack accounting).
+//!
+//! Stacks are bucketed by their exact rounded size — the runtime allocates
+//! nearly all fiber stacks at one configured size, so exact-size buckets hit
+//! almost always and never hand out an over- or under-sized stack. The pool
+//! is byte-capped: cached stacks are touched memory (canaries and old frames
+//! force residency), so an uncapped pool would turn virtual address reuse
+//! into real RSS. Releases past the cap free the stack instead.
+//!
+//! Every release re-checks the canary. A clobbered canary means the fiber
+//! overflowed without tripping the runtime's check; the pool counts it,
+//! re-arms the canary (so [`Stack`]'s drop assertion stays quiet), and frees
+//! the stack rather than recycling a potentially corrupted allocation.
+
+use crate::stack::Stack;
+
+/// Counters describing a [`StackPool`]'s behaviour over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StackPoolStats {
+    /// Acquisitions satisfied from the pool (no host allocation).
+    pub hits: u64,
+    /// Acquisitions that fell through to a fresh host allocation.
+    pub misses: u64,
+    /// Stacks returned to the pool for reuse.
+    pub recycled: u64,
+    /// Stacks released while the pool was at capacity (freed instead).
+    pub evicted: u64,
+    /// Stacks released with a clobbered canary (freed, never recycled).
+    pub canary_faults: u64,
+    /// Bytes currently cached in the pool.
+    pub cached_bytes: u64,
+    /// High-water mark of bytes cached in the pool.
+    pub cached_bytes_hwm: u64,
+}
+
+impl StackPoolStats {
+    /// Hit rate in `[0, 1]`; `1.0` when no acquisitions happened yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Default cache capacity: enough for a few hundred default-sized stacks,
+/// small enough that touched pages stay a rounding error next to the
+/// workloads' own footprints.
+pub const DEFAULT_POOL_CAP: usize = 16 * 1024 * 1024;
+
+/// A size-classed free list of host fiber stacks. See the module docs.
+#[derive(Debug, Default)]
+pub struct StackPool {
+    /// `(rounded size, free stacks of that size)`, a handful of entries.
+    buckets: Vec<(usize, Vec<Stack>)>,
+    cap_bytes: usize,
+    stats: StackPoolStats,
+}
+
+impl StackPool {
+    /// Creates an empty pool that will cache at most `cap_bytes` of stacks.
+    ///
+    /// A cap of zero disables recycling entirely: every release frees.
+    pub fn new(cap_bytes: usize) -> Self {
+        StackPool {
+            buckets: Vec::new(),
+            cap_bytes,
+            stats: StackPoolStats::default(),
+        }
+    }
+
+    /// Hands out a stack of (at least) `size` bytes, recycling a cached one
+    /// when the exact size class has a free stack.
+    pub fn acquire(&mut self, size: usize) -> Stack {
+        let rounded = Stack::rounded_size(size);
+        if let Some((_, free)) = self.buckets.iter_mut().find(|(s, _)| *s == rounded) {
+            if let Some(mut stack) = free.pop() {
+                self.stats.hits += 1;
+                self.stats.cached_bytes -= stack.size() as u64;
+                stack.rearm_canary();
+                return stack;
+            }
+        }
+        self.stats.misses += 1;
+        Stack::new(size)
+    }
+
+    /// Returns a stack to the pool, freeing it instead when its canary is
+    /// clobbered or the byte cap is reached.
+    pub fn release(&mut self, mut stack: Stack) {
+        if stack.check_canary().is_err() {
+            self.stats.canary_faults += 1;
+            // Quiet the drop assertion; the allocation is freed regardless.
+            stack.rearm_canary();
+            return;
+        }
+        let size = stack.size();
+        if self.stats.cached_bytes as usize + size > self.cap_bytes {
+            self.stats.evicted += 1;
+            return;
+        }
+        self.stats.recycled += 1;
+        self.stats.cached_bytes += size as u64;
+        self.stats.cached_bytes_hwm = self.stats.cached_bytes_hwm.max(self.stats.cached_bytes);
+        match self.buckets.iter_mut().find(|(s, _)| *s == size) {
+            Some((_, free)) => free.push(stack),
+            None => self.buckets.push((size, vec![stack])),
+        }
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> StackPoolStats {
+        self.stats
+    }
+
+    /// Number of stacks currently cached across all size classes.
+    pub fn cached_count(&self) -> usize {
+        self.buckets.iter().map(|(_, free)| free.len()).sum()
+    }
+
+    /// Frees every cached stack, keeping the lifetime counters.
+    pub fn drain(&mut self) {
+        self.buckets.clear();
+        self.stats.cached_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycles_exact_size_classes() {
+        let mut pool = StackPool::new(1 << 20);
+        let a = pool.acquire(16 * 1024);
+        let b = pool.acquire(32 * 1024);
+        assert_eq!(pool.stats().misses, 2);
+        let a_top = a.top();
+        pool.release(a);
+        pool.release(b);
+        assert_eq!(pool.cached_count(), 2);
+        // Same size class comes back from the pool — the very allocation we
+        // released, canary re-armed.
+        let a2 = pool.acquire(16 * 1024);
+        assert_eq!(a2.top(), a_top);
+        assert!(a2.check_canary().is_ok());
+        assert_eq!(pool.stats().hits, 1);
+        // A different size class misses.
+        let _c = pool.acquire(8 * 1024);
+        assert_eq!(pool.stats().misses, 3);
+    }
+
+    #[test]
+    fn byte_cap_bounds_cached_memory() {
+        let mut pool = StackPool::new(40 * 1024);
+        let stacks: Vec<_> = (0..4).map(|_| pool.acquire(16 * 1024)).collect();
+        for s in stacks {
+            pool.release(s);
+        }
+        // Only two 16 KiB stacks fit under the 40 KiB cap.
+        assert_eq!(pool.cached_count(), 2);
+        assert_eq!(pool.stats().recycled, 2);
+        assert_eq!(pool.stats().evicted, 2);
+        assert!(pool.stats().cached_bytes as usize <= 40 * 1024);
+        assert_eq!(pool.stats().cached_bytes_hwm, 32 * 1024);
+    }
+
+    #[test]
+    fn zero_cap_disables_recycling() {
+        let mut pool = StackPool::new(0);
+        let s = pool.acquire(8 * 1024);
+        pool.release(s);
+        assert_eq!(pool.cached_count(), 0);
+        assert_eq!(pool.stats().evicted, 1);
+        let _again = pool.acquire(8 * 1024);
+        assert_eq!(pool.stats().hits, 0);
+        assert_eq!(pool.stats().misses, 2);
+    }
+
+    #[test]
+    fn clobbered_canary_is_never_recycled() {
+        let mut pool = StackPool::new(1 << 20);
+        let s = pool.acquire(8 * 1024);
+        // SAFETY: writing within the allocation.
+        unsafe { *s.bottom().add(1) = 0 };
+        pool.release(s);
+        assert_eq!(pool.stats().canary_faults, 1);
+        assert_eq!(pool.cached_count(), 0);
+    }
+
+    #[test]
+    fn hit_rate_tracks_acquisitions() {
+        let mut pool = StackPool::new(1 << 20);
+        assert_eq!(pool.stats().hit_rate(), 1.0);
+        let s = pool.acquire(8 * 1024);
+        pool.release(s);
+        let _s = pool.acquire(8 * 1024);
+        assert!((pool.stats().hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drain_frees_but_keeps_counters() {
+        let mut pool = StackPool::new(1 << 20);
+        let s = pool.acquire(8 * 1024);
+        pool.release(s);
+        pool.drain();
+        assert_eq!(pool.cached_count(), 0);
+        assert_eq!(pool.stats().cached_bytes, 0);
+        assert_eq!(pool.stats().recycled, 1);
+    }
+}

@@ -54,11 +54,18 @@ pub struct Stack {
 }
 
 impl Stack {
+    /// The actual allocation size for a requested stack size: rounded up to
+    /// [`MIN_STACK_SIZE`] and to the ABI alignment. Exposed so size-classed
+    /// caches can bucket requests the same way [`Stack::new`] rounds them.
+    pub fn rounded_size(size: usize) -> usize {
+        size.max(MIN_STACK_SIZE).next_multiple_of(ALIGN)
+    }
+
     /// Allocates a stack of (at least) `size` bytes and arms the canary.
     ///
     /// `size` is rounded up to [`MIN_STACK_SIZE`] and to the ABI alignment.
     pub fn new(size: usize) -> Self {
-        let size = size.max(MIN_STACK_SIZE).next_multiple_of(ALIGN);
+        let size = Self::rounded_size(size);
         let layout = Layout::from_size_align(size, ALIGN).expect("valid stack layout");
         // SAFETY: layout has non-zero size.
         let base = unsafe { alloc(layout) };
@@ -100,6 +107,19 @@ impl Stack {
         }
     }
 
+    /// Rewrites the canary pattern, re-arming overflow detection.
+    ///
+    /// Called when a stack is recycled through a [`StackPool`]: the previous
+    /// fiber's frames are garbage now, but the canary must read as intact
+    /// before the next fiber runs on it.
+    ///
+    /// [`StackPool`]: crate::StackPool
+    pub fn rearm_canary(&mut self) {
+        // SAFETY: the canary region is inside the allocation.
+        unsafe {
+            std::ptr::write_bytes(self.base.as_ptr(), CANARY_BYTE, CANARY_LEN);
+        }
+    }
 }
 
 impl Drop for Stack {
@@ -151,5 +171,15 @@ mod tests {
         assert_eq!(err.clobbered, 1);
         // Restore so drop's debug assertion passes.
         unsafe { *s.bottom().add(3) = 0xC5 };
+    }
+
+    #[test]
+    fn rearm_restores_a_clobbered_canary() {
+        let mut s = Stack::new(8192);
+        // SAFETY: writing within the allocation.
+        unsafe { *s.bottom().add(7) = 0xFF };
+        assert!(s.check_canary().is_err());
+        s.rearm_canary();
+        assert!(s.check_canary().is_ok());
     }
 }

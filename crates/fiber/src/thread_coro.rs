@@ -100,6 +100,30 @@ impl<In, Y, R> Coroutine<In, Y, R> {
         unsafe { Self::new_unchecked(stack_size, body) }
     }
 
+    /// API-parity shim for the assembly backend's `with_stack`: this backend
+    /// runs bodies on OS threads, so the supplied stack only sizes the
+    /// thread's stack and is then freed.
+    pub fn with_stack<F>(stack: Stack, body: F) -> Self
+    where
+        F: FnOnce(&Yielder<In, Y, R>, In) -> R + 'static,
+        In: 'static,
+        Y: 'static,
+        R: 'static,
+    {
+        Self::new(stack.size(), body)
+    }
+
+    /// API-parity shim; see [`Coroutine::with_stack`].
+    ///
+    /// # Safety
+    /// Same contract as [`Coroutine::new_unchecked`].
+    pub unsafe fn with_stack_unchecked<F>(stack: Stack, body: F) -> Self
+    where
+        F: FnOnce(&Yielder<In, Y, R>, In) -> R,
+    {
+        Self::new_unchecked(stack.size(), body)
+    }
+
     /// Creates a coroutine whose body is not `'static`.
     ///
     /// # Safety
@@ -199,6 +223,13 @@ impl<In, Y, R> Coroutine<In, Y, R> {
     /// Placeholder stack (real stacks belong to the OS threads here).
     pub fn stack(&self) -> &Stack {
         &self.stack
+    }
+
+    /// API-parity shim for the assembly backend's `into_stack`: there is no
+    /// reusable host stack on this backend, so this always returns `None`
+    /// (see [`crate::HAS_REAL_STACKS`]).
+    pub fn into_stack(self) -> Option<Stack> {
+        None
     }
 }
 

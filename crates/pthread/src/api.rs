@@ -42,7 +42,8 @@ pub fn spawn_attr<T: 'static>(attr: Attr, f: impl FnOnce() -> T + 'static) -> Jo
             let (child, preempt) = {
                 let mut inner = rc.borrow_mut();
                 let (cur, p) = inner.cur.expect("spawn called outside a thread");
-                let fiber = make_fiber(inner.fiber_stack, slot.clone(), f);
+                let stack = inner.acquire_fiber_stack();
+                let fiber = make_fiber(stack, slot.clone(), f);
                 inner.create_thread(Some(cur), p, attr, Some(fiber), Kind::User)
             };
             if preempt {
@@ -60,6 +61,49 @@ pub fn spawn_attr<T: 'static>(attr: Attr, f: impl FnOnce() -> T + 'static) -> Jo
             }
         }
     }
+}
+
+/// Thread creation failed: the allocation ledger's failure injector denied
+/// the child's stack allocation (see [`crate::Config::with_alloc_failures`]).
+/// The modelled analogue of `pthread_create` returning `EAGAIN`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpawnError {
+    /// Stack bytes whose allocation was denied.
+    pub stack_bytes: u64,
+}
+
+impl std::fmt::Display for SpawnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "spawn failed: stack allocation of {} bytes denied",
+            self.stack_bytes
+        )
+    }
+}
+
+impl std::error::Error for SpawnError {}
+
+/// Fallible fork: like [`spawn`], but when allocation-failure injection is
+/// armed a denied stack allocation surfaces as `Err(SpawnError)` instead of
+/// aborting — callers exercise their out-of-memory degradation paths.
+pub fn try_spawn<T: 'static>(f: impl FnOnce() -> T + 'static) -> Result<JoinHandle<T>, SpawnError> {
+    try_spawn_attr(Attr::default(), f)
+}
+
+/// Fallible fork with explicit attributes; see [`try_spawn`].
+pub fn try_spawn_attr<T: 'static>(
+    attr: Attr,
+    f: impl FnOnce() -> T + 'static,
+) -> Result<JoinHandle<T>, SpawnError> {
+    if let Some(rc) = par_ctx() {
+        let mut inner = rc.borrow_mut();
+        if inner.ledger.as_mut().is_some_and(|l| l.should_fail()) {
+            let stack_bytes = attr.stack_size.unwrap_or(inner.default_stack);
+            return Err(SpawnError { stack_bytes });
+        }
+    }
+    Ok(spawn_attr(attr, f))
 }
 
 /// Voluntarily yields the processor (re-queued as ready).
@@ -181,7 +225,8 @@ impl<'env> Scope<'env> {
                 let (child, preempt) = {
                     let mut inner = rc.borrow_mut();
                     let (cur, p) = inner.cur.expect("scope spawn outside a thread");
-                    let fiber = make_fiber_erased(inner.fiber_stack, body);
+                    let stack = inner.acquire_fiber_stack();
+                    let fiber = make_fiber_erased(stack, body);
                     inner.create_thread(Some(cur), p, attr, Some(fiber), Kind::User)
                 };
                 self.pending.borrow_mut().push(child);
@@ -218,14 +263,29 @@ impl<T> ScopedHandle<'_, T> {
 
     /// Waits for the thread and returns its value (re-raising its panic).
     pub fn join(self) -> T {
+        match self.try_join() {
+            Ok(v) => v,
+            Err(crate::thread::JoinError::Panicked(payload)) => {
+                std::panic::resume_unwind(payload)
+            }
+            Err(e @ crate::thread::JoinError::NoValue) => panic!("scoped {e}"),
+        }
+    }
+
+    /// Waits for the thread; a panic in it becomes a
+    /// [`JoinError::Panicked`](crate::thread::JoinError) instead of
+    /// unwinding the joiner.
+    pub fn try_join(self) -> Result<T, crate::thread::JoinError> {
         if !self.inline {
             self.pending.borrow_mut().retain(|&t| t != self.id);
-            crate::runtime::join_wait(self.id);
+            if let Some(payload) = crate::runtime::join_wait(self.id) {
+                return Err(crate::thread::JoinError::Panicked(payload));
+            }
         }
         self.slot
             .borrow_mut()
             .take()
-            .expect("scoped thread produced no value")
+            .ok_or(crate::thread::JoinError::NoValue)
     }
 }
 
@@ -244,8 +304,8 @@ impl Drop for ScopeGuard {
                 let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     crate::runtime::join_wait(id)
                 }));
-            } else {
-                crate::runtime::join_wait(id);
+            } else if let Some(payload) = crate::runtime::join_wait(id) {
+                std::panic::resume_unwind(payload);
             }
         }
     }

@@ -157,6 +157,25 @@ pub enum Violation {
         /// Its final sampled value.
         last: u64,
     },
+    /// A free underflowed the live byte count — a double free in the
+    /// modelled program (machine-recorded; see
+    /// `MemStats::free_underflows`).
+    FreeUnderflow {
+        /// Bytes by which the free exceeded the live count.
+        bytes: u64,
+        /// Time of the offending free.
+        at: VirtTime,
+    },
+    /// The committed footprint crossed the armed space bound
+    /// ([`crate::Config::with_space_bound`], typically `S1 + c·p·D`).
+    SpaceBound {
+        /// Footprint after the crossing growth.
+        footprint: u64,
+        /// The armed bound in bytes.
+        bound: u64,
+        /// Time of the crossing.
+        at: VirtTime,
+    },
 }
 
 impl std::fmt::Display for Violation {
@@ -212,6 +231,16 @@ impl std::fmt::Display for Violation {
             Violation::CounterLeak { track, last } => {
                 write!(f, "counter leak: track {track:?} ends at {last}, expected 0")
             }
+            Violation::FreeUnderflow { bytes, at } => write!(
+                f,
+                "free underflow: a free at {at} exceeded the live byte count by {bytes} \
+                 (double free)"
+            ),
+            Violation::SpaceBound { footprint, bound, at } => write!(
+                f,
+                "space bound exceeded: footprint {footprint} crossed the armed bound \
+                 {bound} at {at}"
+            ),
         }
     }
 }
@@ -494,6 +523,25 @@ pub fn check_trace(trace: &Trace) -> CheckReport {
                 track: "live-threads".into(),
                 last,
             });
+        }
+    }
+
+    // Machine-recorded memory diagnostics ride in with `thread: None`, which
+    // the causality loop above deliberately skips — scan them separately.
+    for &i in &order {
+        let e = &trace.events[i];
+        match e.kind {
+            EventKind::FreeUnderflow { bytes } => {
+                violations.push(Violation::FreeUnderflow { bytes, at: e.at });
+            }
+            EventKind::BoundViolation { footprint, bound } => {
+                violations.push(Violation::SpaceBound {
+                    footprint,
+                    bound,
+                    at: e.at,
+                });
+            }
+            _ => {}
         }
     }
 

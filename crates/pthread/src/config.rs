@@ -109,6 +109,30 @@ pub struct Config {
     /// which is what lets the happens-before checker
     /// ([`crate::check_trace`]) turn a flagged run back into a repro.
     pub perturb_seed: Option<u64>,
+    /// Arms the allocation ledger: per-thread attribution of every
+    /// `rt_alloc`/`rt_free` (and TLS slot bytes), with a leak report on the
+    /// run's [`crate::Report`]. Off by default — the ledger touches a hash
+    /// map per allocation, which unarmed runs should not pay for.
+    pub ledger: bool,
+    /// Injects allocation failures at a seeded rate: `Some(n)` makes
+    /// roughly one in `n` *fallible* allocation requests
+    /// ([`crate::try_rt_alloc`], [`crate::try_spawn`]) fail. The infallible
+    /// paths ([`crate::rt_alloc`], [`crate::spawn`]) never observe injected
+    /// failures — they have no way to degrade gracefully. Implies
+    /// [`Config::ledger`]. Driven by a generator seeded from
+    /// [`Config::seed`], so runs replay deterministically.
+    pub alloc_fail_rate: Option<u64>,
+    /// Arms the runtime space-bound enforcer with an absolute byte limit,
+    /// typically `S1 + c·p·D` (S1 from [`crate::run_serial`], D from the
+    /// DAG crosscheck). Every footprint growth above the limit is counted
+    /// in `MemStats::bound_violations`, and the crossing growth records a
+    /// trace event (surfaced by [`crate::check_trace`] and `ptdf-trace
+    /// audit`). Enforcement never changes the accounting itself.
+    pub space_bound: Option<u64>,
+    /// Byte cap of the host fiber-stack pool (recycled real stacks). `0`
+    /// disables recycling. Cached stacks are touched memory, so the cap
+    /// bounds real RSS; see `ptdf_fiber::StackPool`.
+    pub stack_pool_cap: usize,
 }
 
 impl Config {
@@ -127,6 +151,10 @@ impl Config {
             trace: false,
             trace_alloc_threshold: 4096,
             perturb_seed: None,
+            ledger: false,
+            alloc_fail_rate: None,
+            space_bound: None,
+            stack_pool_cap: ptdf_fiber::DEFAULT_POOL_CAP,
         }
     }
 
@@ -179,6 +207,44 @@ impl Config {
     /// [`Config::perturb_seed`].
     pub fn with_perturbation(mut self, seed: u64) -> Self {
         self.perturb_seed = Some(seed);
+        self
+    }
+
+    /// Arms the allocation ledger (builder style). See [`Config::ledger`].
+    pub fn with_ledger(mut self) -> Self {
+        self.ledger = true;
+        self
+    }
+
+    /// Injects roughly one allocation failure per `rate` fallible requests
+    /// (builder style); implies the ledger. See [`Config::alloc_fail_rate`].
+    pub fn with_alloc_failures(mut self, rate: u64) -> Self {
+        assert!(rate > 0, "failure rate must be positive");
+        self.alloc_fail_rate = Some(rate);
+        self.ledger = true;
+        self
+    }
+
+    /// Arms the space-bound enforcer with an absolute byte limit (builder
+    /// style). See [`Config::space_bound`]. Use
+    /// [`Config::with_space_bound_terms`] to pass the paper's terms
+    /// directly.
+    pub fn with_space_bound(mut self, limit_bytes: u64) -> Self {
+        self.space_bound = Some(limit_bytes);
+        self
+    }
+
+    /// Arms the space-bound enforcer at `S1 + factor · p · depth` bytes,
+    /// with `p` taken from [`Config::processors`] (builder style).
+    pub fn with_space_bound_terms(self, s1: u64, factor: u64, depth: u64) -> Self {
+        let p = self.processors as u64;
+        self.with_space_bound(s1 + factor * p * depth)
+    }
+
+    /// Sets the host fiber-stack pool's byte cap (builder style); `0`
+    /// disables stack recycling. See [`Config::stack_pool_cap`].
+    pub fn with_stack_pool_cap(mut self, bytes: usize) -> Self {
+        self.stack_pool_cap = bytes;
         self
     }
 }

@@ -67,18 +67,20 @@ mod tls;
 pub mod trace;
 
 pub use api::{
-    current_thread, processors, scope, spawn, spawn_attr, touch, work, yield_now, Scope,
-    ScopedHandle,
+    current_thread, processors, scope, spawn, spawn_attr, touch, try_spawn, try_spawn_attr,
+    work, yield_now, Scope, ScopedHandle, SpawnError,
 };
 pub use check::{check_trace, CheckReport, Violation};
 pub use config::{Attr, Config, SchedKind, DEFAULT_QUOTA, STACK_1MB, STACK_8KB};
-pub use mem::{rt_alloc, rt_free, TrackedBuf};
+pub use mem::{
+    rt_alloc, rt_free, try_rt_alloc, AllocError, LeakReport, ThreadLedger, TrackedBuf,
+};
 pub use report::Report;
 pub use runtime::run;
 pub use serial::{run_serial, SerialReport};
 pub use rwlock::{ReadGuard, RwLock, WriteGuard};
 pub use sync::{Barrier, Condvar, Mutex, MutexGuard, Semaphore};
-pub use thread::{JoinHandle, ThreadId};
+pub use thread::{JoinError, JoinHandle, ThreadId};
 pub use tls::TlsKey;
 pub use trace::{
     BlockReason, Counters, Event, EventKind, LatencyStats, LifecycleSummary, Span, SpanKind,
@@ -332,6 +334,160 @@ mod tests {
             r.is_err()
         });
         assert!(caught);
+    }
+
+    #[test]
+    fn try_join_surfaces_child_panic_without_unwinding() {
+        let (ok, _) = run(Config::new(2, SchedKind::Df), || {
+            let h = spawn(|| -> u32 { panic!("worker exploded") });
+            match h.try_join() {
+                Err(JoinError::Panicked(p)) => {
+                    p.downcast_ref::<&str>() == Some(&"worker exploded")
+                }
+                _ => false,
+            }
+        });
+        assert!(ok);
+    }
+
+    #[test]
+    fn injected_spawn_failures_degrade_gracefully() {
+        let cfg = Config::new(2, SchedKind::Df).with_alloc_failures(4);
+        let ((ok_spawns, failures), report) = run(cfg, || {
+            let (mut ok, mut failed) = (0u64, 0u64);
+            let mut handles = Vec::new();
+            for i in 0..64u64 {
+                match try_spawn(move || i) {
+                    Ok(h) => {
+                        ok += 1;
+                        handles.push(h);
+                    }
+                    Err(e) => {
+                        failed += 1;
+                        assert!(e.stack_bytes > 0);
+                    }
+                }
+            }
+            for h in handles {
+                h.join();
+            }
+            (ok, failed)
+        });
+        assert_eq!(ok_spawns + failures, 64);
+        assert!(failures > 0, "rate 4 over 64 tries should inject");
+        let leaks = report.leaks.expect("failure injection implies the ledger");
+        assert_eq!(leaks.injected_failures, failures);
+    }
+
+    #[test]
+    fn injected_alloc_failures_are_err_not_abort() {
+        let cfg = Config::new(1, SchedKind::Df).with_alloc_failures(2);
+        let (failed, report) = run(cfg, || {
+            let mut failed = 0u64;
+            for _ in 0..64 {
+                match try_rt_alloc(1024) {
+                    Ok(()) => rt_free(1024),
+                    Err(e) => {
+                        failed += 1;
+                        assert_eq!(e.bytes, 1024);
+                    }
+                }
+            }
+            failed
+        });
+        assert!(failed > 0, "rate 2 over 64 tries should inject");
+        let leaks = report.leaks.expect("ledger armed");
+        assert_eq!(leaks.injected_failures, failed);
+        // Denied requests were never charged: the run still balances.
+        assert!(leaks.is_clean(), "{leaks:?}");
+    }
+
+    #[test]
+    fn ledger_attributes_leaks_to_threads() {
+        let cfg = Config::new(2, SchedKind::Df).with_ledger();
+        let (_, report) = run(cfg, || {
+            spawn(|| rt_alloc(4096)).join(); // never freed
+            rt_alloc(512);
+            rt_free(512);
+        });
+        let leaks = report.leaks.expect("ledger armed");
+        assert_eq!(leaks.leaked_bytes, 4096);
+        assert!(!leaks.is_clean());
+        // Exactly one thread carries a net balance, with the right amount.
+        assert_eq!(leaks.per_thread.len(), 1);
+        assert_eq!(leaks.per_thread[0].allocated, 4096);
+        assert_eq!(leaks.per_thread[0].freed, 0);
+    }
+
+    #[test]
+    fn double_free_is_surfaced_not_saturated() {
+        let cfg = Config::new(1, SchedKind::Df).with_ledger().with_trace();
+        // Stacks keep their committed bytes live in the heap model, so the
+        // over-free must exceed anything plausibly live to underflow.
+        let over = 1u64 << 40;
+        let (_, report) = run(cfg, move || {
+            rt_alloc(1000);
+            rt_free(1000);
+            rt_free(over); // free of never-allocated memory
+        });
+        assert_eq!(report.stats.mem.free_underflows, 1);
+        let leaks = report.leaks.expect("ledger armed");
+        assert_eq!(leaks.free_underflows, 1);
+        assert!(!leaks.is_clean());
+        let check = check_trace(report.trace.as_ref().expect("traced"));
+        assert!(
+            check
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::FreeUnderflow { .. })),
+            "checker must flag the double free: {:?}",
+            check.violations
+        );
+    }
+
+    #[test]
+    fn stack_pool_recycles_across_spawn_waves() {
+        let (_, report) = run(Config::new(2, SchedKind::Df), || {
+            for _ in 0..32 {
+                let hs: Vec<_> = (0..8).map(|i| spawn(move || i)).collect();
+                for h in hs {
+                    h.join();
+                }
+            }
+        });
+        if ptdf_fiber::HAS_REAL_STACKS {
+            let rate = report.stack_pool_hit_rate();
+            assert!(rate > 0.9, "hit rate {rate}");
+            assert!(report.stats.mem.host_stack_cached_hwm > 0);
+        }
+    }
+
+    #[test]
+    fn space_bound_enforcer_counts_excursions() {
+        // A breadth-first FIFO storm with 1 MB stacks blows far past a tiny
+        // bound; the same run unarmed must report bit-identical footprint.
+        let storm = || {
+            let hs: Vec<_> = (0..64).map(|_| spawn(|| ())).collect();
+            for h in hs {
+                h.join();
+            }
+        };
+        let base = Config::solaris_native(1);
+        let (_, unarmed) = run(base.clone(), storm);
+        let (_, armed) = run(base.with_space_bound(64 * 1024).with_trace(), storm);
+        assert_eq!(
+            armed.stats.mem.footprint_hwm, unarmed.stats.mem.footprint_hwm,
+            "arming the bound must not change the accounting"
+        );
+        assert_eq!(unarmed.bound_violations(), 0);
+        assert!(armed.bound_violations() > 0);
+        let check = check_trace(armed.trace.as_ref().expect("traced"));
+        let crossings = check
+            .violations
+            .iter()
+            .filter(|v| matches!(v, Violation::SpaceBound { .. }))
+            .count();
+        assert_eq!(crossings, 1, "exactly one crossing event marks the excursion");
     }
 
     #[test]

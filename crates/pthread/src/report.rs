@@ -26,6 +26,10 @@ pub struct Report {
     /// Execution trace, when enabled via [`Config::with_trace`].
     #[serde(skip_serializing_if = "Option::is_none")]
     pub trace: Option<crate::trace::Trace>,
+    /// Allocation-ledger leak report, when the run was configured with
+    /// [`Config::with_ledger`] (or failure injection, which implies it).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub leaks: Option<crate::mem::LeakReport>,
 }
 
 impl Report {
@@ -35,6 +39,7 @@ impl Report {
         total_threads: usize,
         steals: u64,
         trace: Option<crate::trace::Trace>,
+        leaks: Option<crate::mem::LeakReport>,
     ) -> Self {
         Report {
             scheduler: config.scheduler.name().to_string(),
@@ -45,6 +50,7 @@ impl Report {
             steals,
             stats,
             trace,
+            leaks,
         }
     }
 
@@ -79,5 +85,22 @@ impl Report {
     /// `None` unless the run traced ([`Config::with_trace`]).
     pub fn lifecycle(&self) -> Option<crate::trace::LifecycleSummary> {
         self.trace.as_ref().map(|t| t.lifecycle())
+    }
+
+    /// Host fiber-stack pool hit rate in `[0, 1]` (`1.0` when the run
+    /// spawned nothing). Hits are spawns served a recycled real stack.
+    pub fn stack_pool_hit_rate(&self) -> f64 {
+        let total = self.stats.mem.host_stack_hits + self.stats.mem.host_stack_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.stats.mem.host_stack_hits as f64 / total as f64
+        }
+    }
+
+    /// Footprint growths observed above the armed space bound
+    /// ([`Config::with_space_bound`]); `0` when unarmed or within bound.
+    pub fn bound_violations(&self) -> u64 {
+        self.stats.mem.bound_violations
     }
 }

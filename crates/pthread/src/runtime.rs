@@ -12,14 +12,21 @@ use std::cell::RefCell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 
-use ptdf_fiber::{Coroutine, ForcedUnwind, Step};
+use ptdf_fiber::{Coroutine, ForcedUnwind, Stack, StackPool, Step};
 use ptdf_smp::{Machine, Prng, ProcId, VirtTime};
 
 use crate::config::{Attr, Config, SchedKind};
+use crate::mem::Ledger;
 use crate::report::Report;
 use crate::sched::{make_policy, Policy, Pop};
-use crate::thread::{Fiber, JoinHandle, Kind, Slot, TState, Tcb, ThreadId, YieldReason};
+use crate::thread::{Fiber, JoinError, JoinHandle, Kind, Slot, TState, Tcb, ThreadId, YieldReason};
 use crate::trace::{BlockReason, EventKind, Trace, TraceMeta};
+
+/// A TLS-destructor hook: called with an exiting thread's id, it drops the
+/// thread's slot in one [`crate::TlsKey`]'s map and returns the released
+/// byte count (pthread TSD-destructor semantics). Registered lazily, once
+/// per key per run; holds only the key's own map, never the runtime.
+pub(crate) type TlsCleaner = Box<dyn Fn(ThreadId) -> u64>;
 
 /// Runtime internals; shared between the engine loop and the API functions
 /// (via the thread-local [`ActiveCtx`]).
@@ -47,6 +54,17 @@ pub(crate) struct Inner {
     /// shuffles, and injected preemptions all draw from this generator, so
     /// one seed fixes the whole explored schedule.
     pub perturb: Option<Prng>,
+    /// Recycles real (host) fiber stacks across spawns; see
+    /// `ptdf_fiber::StackPool`. Completed fibers return their stack here and
+    /// the next spawn reuses it, canary re-armed.
+    pub stack_pool: StackPool,
+    /// Allocation ledger, when armed ([`Config::with_ledger`]).
+    pub ledger: Option<Ledger>,
+    /// TLS-destructor hooks, one per [`crate::TlsKey`] touched this run.
+    pub tls_cleaners: Vec<TlsCleaner>,
+    /// This run's identity for lazy TLS-cleaner registration (keys outlive
+    /// runs, so each key re-registers once per run).
+    pub run_token: u64,
     /// Next per-run sync-object id (assigned lazily at an object's first
     /// engine interaction, so ids are dense and engine-order deterministic).
     next_sync_id: u32,
@@ -104,6 +122,10 @@ impl Inner {
         if let Some(seed) = config.perturb_seed {
             machine.enable_perturbation(seed);
         }
+        if let Some(limit) = config.space_bound {
+            machine.arm_space_bound(limit);
+        }
+        static RUN_TOKEN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
         Inner {
             machine,
             policy: make_policy(config),
@@ -133,8 +155,44 @@ impl Inner {
             perturb: config
                 .perturb_seed
                 .map(|s| Prng::new(s ^ 0x0051_CED0_5EED_F00D)),
+            stack_pool: StackPool::new(config.stack_pool_cap),
+            ledger: config
+                .ledger
+                .then(|| Ledger::new(config.alloc_fail_rate.map(|r| (config.seed, r)))),
+            tls_cleaners: Vec::new(),
+            run_token: RUN_TOKEN.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             next_sync_id: 0,
         }
+    }
+
+    /// Hands out a host stack for a new fiber, recycling through the pool.
+    pub fn acquire_fiber_stack(&mut self) -> Stack {
+        let stack = self.stack_pool.acquire(self.fiber_stack);
+        self.sample_pool_cached();
+        stack
+    }
+
+    /// Returns a completed fiber's host stack to the pool.
+    fn recycle_fiber_stack(&mut self, stack: Stack) {
+        self.stack_pool.release(stack);
+        self.sample_pool_cached();
+    }
+
+    /// Samples the pool's cached-byte count into the flight recorder, so the
+    /// `host_pool_cached` track shows recycling behaviour over virtual time.
+    fn sample_pool_cached(&mut self) {
+        if self.trace.is_none() {
+            return;
+        }
+        let at = match self.cur {
+            Some((_, p)) => self.machine.clock(p),
+            None => self.machine.clock(0),
+        };
+        let bytes = self.stack_pool.stats().cached_bytes;
+        self.trace
+            .as_mut()
+            .expect("checked")
+            .sample_pool_cached(at, bytes);
     }
 
     fn tcb(&mut self, t: ThreadId) -> &mut Tcb {
@@ -473,6 +531,19 @@ impl Inner {
             t.yielder = std::ptr::null();
             t.joiner.take()
         };
+        // pthread TSD semantics: destroy the exiting thread's specific
+        // values now, not at key drop — otherwise every exited thread leaks
+        // a map slot per key for the rest of the run. Cleaners hold only
+        // their key's own map, so calling them under the engine borrow is
+        // fine (TLS value destructors must not call back into the runtime).
+        let cleaners = std::mem::take(&mut self.tls_cleaners);
+        let tls_freed: u64 = cleaners.iter().map(|clean| clean(tid)).sum();
+        self.tls_cleaners = cleaners;
+        if tls_freed > 0 {
+            if let Some(ledger) = self.ledger.as_mut() {
+                ledger.release_tls(tid.0, tls_freed);
+            }
+        }
         self.live -= 1;
         if let Some(j) = joiner {
             self.make_ready(j, p);
@@ -527,7 +598,8 @@ pub fn run<T: 'static>(config: Config, f: impl FnOnce() -> T + 'static) -> (T, R
 
     {
         let mut inner = inner_rc.borrow_mut();
-        let fiber = make_fiber(config.fiber_stack, slot.clone(), f);
+        let stack = inner.acquire_fiber_stack();
+        let fiber = make_fiber(stack, slot.clone(), f);
         let _ = inner.create_thread(None, 0, Attr::default(), Some(fiber), Kind::Root);
     }
 
@@ -550,26 +622,38 @@ pub fn run<T: 'static>(config: Config, f: impl FnOnce() -> T + 'static) -> (T, R
             tr.absorb_machine(rec);
         }
     }
-    let stats = {
+    let mut stats = {
         let machine = std::mem::replace(
             &mut inner.machine,
             Machine::new(1, config.cost.clone(), config.default_stack),
         );
         machine.finish()
     };
+    // Fold the host stack-pool counters into the memory stats. The machine's
+    // own accounting (footprint, live bytes) is untouched — pool slabs are
+    // host memory, reported in their own fields so virtual footprint numbers
+    // stay bit-identical to pre-pool runs.
+    let pool = inner.stack_pool.stats();
+    stats.mem.host_stack_hits = pool.hits;
+    stats.mem.host_stack_misses = pool.misses;
+    stats.mem.host_stack_cached_hwm = pool.cached_bytes_hwm;
+    let leaks = inner
+        .ledger
+        .take()
+        .map(|l| l.report(stats.mem.free_underflows));
     drop(inner);
     let value = slot
         .borrow_mut()
         .take()
         .expect("root thread completed without a value");
-    let report = Report::new(&config, stats, peak, steals, trace);
+    let report = Report::new(&config, stats, peak, steals, trace, leaks);
     (value, report)
 }
 
 /// Builds the fiber for a thread body: registers its yielder, runs the body,
 /// stores the result, and records panics for delivery at join.
 pub(crate) fn make_fiber<T: 'static>(
-    stack: usize,
+    stack: Stack,
     slot: Slot<T>,
     f: impl FnOnce() -> T + 'static,
 ) -> Fiber {
@@ -582,7 +666,9 @@ pub(crate) fn make_fiber<T: 'static>(
 }
 
 /// Type-erased fiber constructor (used by the lifetime-erasing scope API).
-pub(crate) fn make_fiber_erased(stack: usize, body: Box<dyn FnOnce()>) -> Fiber {
+/// Takes an owned host stack (usually from [`Inner::acquire_fiber_stack`]);
+/// it is returned to the pool when the fiber completes.
+pub(crate) fn make_fiber_erased(stack: Stack, body: Box<dyn FnOnce()>) -> Fiber {
     // With the portable thread backend, each fiber runs on its own OS
     // thread, which starts with an empty thread-local context; capture the
     // engine's context now (on the engine thread) and install it when the
@@ -591,7 +677,7 @@ pub(crate) fn make_fiber_erased(stack: usize, body: Box<dyn FnOnce()>) -> Fiber 
         Some(ActiveCtx::Par(rc)) => Some(rc.clone()),
         _ => None,
     });
-    Coroutine::new(stack, move |yielder, ()| {
+    Coroutine::with_stack(stack, move |yielder, ()| {
         if let Some(rc) = ctx {
             adopt_context(rc);
         }
@@ -808,7 +894,11 @@ fn engine_loop(inner_rc: &Rc<RefCell<Inner>>) {
                 inner.handle_yield(tid, p, reason);
             }
             Step::Complete(()) => {
-                drop(fiber);
+                // Recycle the completed fiber's host stack for the next
+                // spawn (the portable backend has no real stack to return).
+                if let Some(stack) = fiber.into_stack() {
+                    inner.recycle_fiber_stack(stack);
+                }
                 inner.finish_thread(tid, p);
             }
         }
@@ -819,19 +909,31 @@ fn engine_loop(inner_rc: &Rc<RefCell<Inner>>) {
     }
 }
 
-/// Implementation of [`JoinHandle::join`].
+/// Implementation of [`JoinHandle::join`]: re-raises a child panic in the
+/// joiner (pthread `join` semantics on a cancelled/aborted thread).
 pub(crate) fn join_impl<T>(h: &JoinHandle<T>) -> T {
-    if !h.inline {
-        join_wait(h.id);
+    match try_join_impl(h) {
+        Ok(v) => v,
+        Err(JoinError::Panicked(payload)) => resume_unwind(payload),
+        Err(e @ JoinError::NoValue) => panic!("{e}"),
     }
-    h.slot
-        .borrow_mut()
-        .take()
-        .expect("joined thread produced no value (did it panic while detached?)")
 }
 
-/// Blocks the current thread until `target` exits; re-raises its panic.
-pub(crate) fn join_wait(target: ThreadId) {
+/// Implementation of [`JoinHandle::try_join`]: waits for the child exactly
+/// like `join`, but surfaces a child panic (or a missing value) as a
+/// [`JoinError`] instead of unwinding the joiner.
+pub(crate) fn try_join_impl<T>(h: &JoinHandle<T>) -> Result<T, JoinError> {
+    if !h.inline {
+        if let Some(payload) = join_wait(h.id) {
+            return Err(JoinError::Panicked(payload));
+        }
+    }
+    h.slot.borrow_mut().take().ok_or(JoinError::NoValue)
+}
+
+/// Blocks the current thread until `target` exits. Returns the target's
+/// panic payload, if it panicked; the caller decides whether to re-raise.
+pub(crate) fn join_wait(target: ThreadId) -> Option<Box<dyn std::any::Any + Send>> {
     let rc = with_active(|ctx| match ctx {
         Some(ActiveCtx::Par(rc)) => rc.clone(),
         _ => panic!("join on a runtime thread outside the runtime"),
@@ -862,10 +964,7 @@ pub(crate) fn join_wait(target: ThreadId) {
             }
             let payload = inner.threads[t].panic.take();
             drop(inner);
-            if let Some(payload) = payload {
-                resume_unwind(payload);
-            }
-            return;
+            return payload;
         }
         assert!(
             inner.threads[t].joiner.is_none(),

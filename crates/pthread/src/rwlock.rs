@@ -145,11 +145,14 @@ impl<T> RwLock<T> {
         }
     }
 
-    /// Attempts exclusive access without blocking.
+    /// Attempts exclusive access without blocking. Like [`RwLock::try_read`]
+    /// it also fails while any waiter is queued: an admitted-but-not-yet-run
+    /// waiter owns the next turn, and barging past it would hand two
+    /// threads the lock's fairness slot at once.
     pub fn try_write(&self) -> Option<WriteGuard<'_, T>> {
         charge_op();
         let st = &self.inner.state;
-        if !st.writer.get() && st.readers.get() == 0 {
+        if !st.writer.get() && st.readers.get() == 0 && st.waiters.borrow().is_empty() {
             st.writer.set(true);
             Some(WriteGuard { lock: self })
         } else {
@@ -307,6 +310,66 @@ mod tests {
                 v
             });
             assert_eq!(total, 40, "{kind:?}: lost update through RwLock");
+        }
+    }
+
+    #[test]
+    fn try_write_respects_queued_waiters_under_perturbation() {
+        // Regression pin for the try_write/try_read asymmetry: try_write
+        // used to ignore the wait queue, so it could barge past queued
+        // waiters. A perturbed storm mixes blocking writers, try_write
+        // opportunists and invariant-checking readers: the two halves of
+        // the protected pair must never be observed torn, and the total
+        // must equal the number of successful writes.
+        for seed in 0..16u64 {
+            let cfg = Config::new(4, SchedKind::DfDeques).with_perturbation(seed);
+            let ((pair, tries), _) = run(cfg, || {
+                let l = RwLock::new([0u64; 2]);
+                let tries = crate::Mutex::new(0u64);
+                scope(|s| {
+                    for _ in 0..4 {
+                        let l = l.clone();
+                        s.spawn(move || {
+                            for _ in 0..8 {
+                                let mut g = l.write();
+                                g[0] += 1;
+                                crate::work(500); // hold across work
+                                g[1] += 1;
+                            }
+                        });
+                    }
+                    for _ in 0..4 {
+                        let (l, tries) = (l.clone(), tries.clone());
+                        s.spawn(move || {
+                            for _ in 0..8 {
+                                if let Some(mut g) = l.try_write() {
+                                    assert_eq!(g[0], g[1], "torn write observed");
+                                    g[0] += 1;
+                                    crate::work(500);
+                                    g[1] += 1;
+                                    *tries.lock() += 1;
+                                }
+                                crate::yield_now();
+                            }
+                        });
+                    }
+                    for _ in 0..2 {
+                        let l = l.clone();
+                        s.spawn(move || {
+                            for _ in 0..8 {
+                                let g = l.read();
+                                assert_eq!(g[0], g[1], "reader saw a torn write");
+                                crate::work(200);
+                            }
+                        });
+                    }
+                });
+                let pair = *l.read();
+                let t = *tries.lock();
+                (pair, t)
+            });
+            assert_eq!(pair[0], pair[1], "seed {seed}");
+            assert_eq!(pair[0], 32 + tries, "seed {seed}: lost updates");
         }
     }
 

@@ -148,6 +148,55 @@ impl Tcb {
 /// Shared result slot between a thread and its join handle.
 pub(crate) type Slot<T> = Rc<RefCell<Option<T>>>;
 
+/// Why a join could not deliver the thread's value.
+///
+/// `pthread_join` distinguishes a normally-returned value from an aborted
+/// thread; [`JoinHandle::try_join`] does the same instead of unwinding the
+/// joiner or hitting an internal `expect`.
+pub enum JoinError {
+    /// The thread's closure panicked; the payload is the panic value.
+    Panicked(Box<dyn Any + Send>),
+    /// The thread exited without storing a value (e.g. the value was
+    /// already taken, or the thread was torn down before running).
+    NoValue,
+}
+
+impl JoinError {
+    /// The panic payload, if the thread panicked.
+    pub fn into_panic(self) -> Option<Box<dyn Any + Send>> {
+        match self {
+            JoinError::Panicked(p) => Some(p),
+            JoinError::NoValue => None,
+        }
+    }
+}
+
+impl std::fmt::Debug for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JoinError::Panicked(p) => {
+                let msg = p
+                    .downcast_ref::<&str>()
+                    .copied()
+                    .or_else(|| p.downcast_ref::<String>().map(String::as_str));
+                f.debug_tuple("Panicked").field(&msg).finish()
+            }
+            JoinError::NoValue => f.write_str("NoValue"),
+        }
+    }
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JoinError::Panicked(_) => f.write_str("joined thread panicked"),
+            JoinError::NoValue => f.write_str("joined thread produced no value"),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
 /// Owned handle to a spawned thread; consume with [`JoinHandle::join`].
 ///
 /// Unlike `pthread_join`, the handle is typed: the thread's closure return
@@ -173,6 +222,12 @@ impl<T> JoinHandle<T> {
     /// Re-raises a panic that escaped the thread's closure.
     pub fn join(self) -> T {
         crate::api::join_impl(&self)
+    }
+
+    /// Waits for the thread to finish; a panic in the thread is returned as
+    /// [`JoinError::Panicked`] instead of unwinding the joiner.
+    pub fn try_join(self) -> Result<T, JoinError> {
+        crate::runtime::try_join_impl(&self)
     }
 
     /// Explicitly detaches the thread (equivalent to dropping the handle).

@@ -1,12 +1,16 @@
 //! Thread-specific data (`pthread_key_create` / `pthread_setspecific`).
 //!
 //! A [`TlsKey<T>`] gives each runtime thread its own slot of type `T`.
-//! Slots are created lazily via the key's initializer and dropped when the
-//! run ends (the paper's library destroys TSD at thread exit; values here
-//! live in the key, keyed by [`crate::ThreadId`], and ids are never reused
-//! within a run, which gives the same observable semantics).
+//! Slots are created lazily via the key's initializer and — like pthread
+//! TSD destructors — **destroyed when their thread exits**: the key
+//! registers a per-run exit cleaner with the engine on first touch, so a
+//! long run churning through threads keeps the key's map bounded by the
+//! number of *live* threads, not the number ever created. Slot bytes are
+//! attributed through the allocation ledger when one is armed
+//! ([`crate::Config::with_ledger`]). Slot value destructors run inside the
+//! engine's exit path and must not call back into the runtime.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -17,6 +21,10 @@ use crate::thread::ThreadId;
 pub struct TlsKey<T> {
     slots: Rc<RefCell<HashMap<ThreadId, T>>>,
     init: Rc<dyn Fn() -> T>,
+    /// Run token of the run this key last registered its exit cleaner with
+    /// (keys outlive runs; shared across clones so each run registers one
+    /// cleaner no matter how many clones touch it).
+    registered: Rc<Cell<u64>>,
 }
 
 impl<T> Clone for TlsKey<T> {
@@ -24,6 +32,7 @@ impl<T> Clone for TlsKey<T> {
         TlsKey {
             slots: self.slots.clone(),
             init: self.init.clone(),
+            registered: self.registered.clone(),
         }
     }
 }
@@ -32,12 +41,13 @@ impl<T> Clone for TlsKey<T> {
 /// plain calls): a single shared slot.
 const OUTSIDE: ThreadId = ThreadId(u32::MAX - 2);
 
-impl<T> TlsKey<T> {
+impl<T: 'static> TlsKey<T> {
     /// Creates a key whose per-thread values start as `init()`.
     pub fn new(init: impl Fn() -> T + 'static) -> Self {
         TlsKey {
             slots: Rc::new(RefCell::new(HashMap::new())),
             init: Rc::new(init),
+            registered: Rc::new(Cell::new(0)),
         }
     }
 
@@ -45,23 +55,86 @@ impl<T> TlsKey<T> {
         crate::api::current_thread().unwrap_or(OUTSIDE)
     }
 
+    /// First touch of this key by `me` in the active run: registers the
+    /// key's thread-exit cleaner (once per run) and attributes the new
+    /// slot's bytes to `me` in the ledger, when one is armed.
+    fn attach(&self, me: ThreadId) {
+        if me == OUTSIDE {
+            return;
+        }
+        let Some(rc) = crate::api::par_ctx() else {
+            return;
+        };
+        let mut inner = rc.borrow_mut();
+        if let Some(ledger) = inner.ledger.as_mut() {
+            ledger.charge_tls(me.0, std::mem::size_of::<T>() as u64);
+        }
+        if self.registered.get() != inner.run_token {
+            self.registered.set(inner.run_token);
+            // Weak: the engine's cleaner list must not keep a dropped key's
+            // map (and every value in it) alive until the end of the run.
+            let slots = Rc::downgrade(&self.slots);
+            inner.tls_cleaners.push(Box::new(move |tid| {
+                slots.upgrade().map_or(0, |map| {
+                    map.borrow_mut()
+                        .remove(&tid)
+                        .map_or(0, |_| std::mem::size_of::<T>() as u64)
+                })
+            }));
+        }
+    }
+
+    /// Releases the ledger attribution for a slot `me` removed explicitly
+    /// (via [`TlsKey::take`]) rather than by the exit cleaner.
+    fn detach(&self, me: ThreadId) {
+        if me == OUTSIDE {
+            return;
+        }
+        if let Some(rc) = crate::api::par_ctx() {
+            if let Some(ledger) = rc.borrow_mut().ledger.as_mut() {
+                ledger.release_tls(me.0, std::mem::size_of::<T>() as u64);
+            }
+        }
+    }
+
     /// Runs `f` with a mutable reference to the calling thread's slot
     /// (initializing it first if needed).
     pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
         let me = self.me();
+        let fresh = {
+            let mut slots = self.slots.borrow_mut();
+            match slots.entry(me) {
+                std::collections::hash_map::Entry::Occupied(_) => false,
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert((self.init)());
+                    true
+                }
+            }
+        };
+        if fresh {
+            self.attach(me);
+        }
         let mut slots = self.slots.borrow_mut();
-        let slot = slots.entry(me).or_insert_with(|| (self.init)());
-        f(slot)
+        f(slots.get_mut(&me).expect("slot just ensured"))
     }
 
     /// Replaces the calling thread's value (`pthread_setspecific`).
     pub fn set(&self, value: T) {
-        self.slots.borrow_mut().insert(self.me(), value);
+        let me = self.me();
+        let fresh = self.slots.borrow_mut().insert(me, value).is_none();
+        if fresh {
+            self.attach(me);
+        }
     }
 
     /// Takes the calling thread's value out, if set.
     pub fn take(&self) -> Option<T> {
-        self.slots.borrow_mut().remove(&self.me())
+        let me = self.me();
+        let v = self.slots.borrow_mut().remove(&me);
+        if v.is_some() {
+            self.detach(me);
+        }
+        v
     }
 
     /// Clones the calling thread's value (`pthread_getspecific`).
@@ -100,25 +173,53 @@ mod tests {
 
     #[test]
     fn each_thread_gets_its_own_slot() {
-        let (sums, _) = run(Config::new(4, SchedKind::Df), || {
+        let (ok, _) = run(Config::new(4, SchedKind::Df), || {
             let key = TlsKey::new(|| 0u64);
-            let k2 = key.clone();
             scope(|s| {
-                for i in 0..16u64 {
-                    let key = key.clone();
-                    s.spawn(move || {
-                        // Accumulate privately; no synchronization needed.
-                        for _ in 0..=i {
-                            key.with(|v| *v += 1);
-                        }
-                    });
-                }
-            });
-            // 16 worker slots were created (none shared).
-            assert!(k2.len() >= 16);
-            k2
+                let handles: Vec<_> = (0..16u64)
+                    .map(|i| {
+                        let key = key.clone();
+                        s.spawn(move || {
+                            // Accumulate privately; no synchronization
+                            // needed. The final value equals this thread's
+                            // own contribution only if no slot is shared.
+                            for _ in 0..=i {
+                                key.with(|v| *v += 1);
+                            }
+                            key.with(|v| *v) == i + 1
+                        })
+                    })
+                    .collect();
+                handles.into_iter().all(|h| h.join())
+            })
         });
-        let _ = sums;
+        assert!(ok);
+    }
+
+    #[test]
+    fn exited_threads_do_not_leak_slots() {
+        // Thread-churn storm: without TSD destruction at exit, the key's
+        // map would grow by one slot per exited thread (512 here).
+        let ((), report) = run(Config::new(2, SchedKind::Df).with_ledger(), || {
+            let key = TlsKey::new(|| [0u64; 4]);
+            for _wave in 0..64 {
+                let handles: Vec<_> = (0..8)
+                    .map(|_| {
+                        let k = key.clone();
+                        crate::spawn(move || k.with(|v| v[0] += 1))
+                    })
+                    .collect();
+                for h in handles {
+                    h.join();
+                }
+                // All workers of the wave exited; their slots went with
+                // them (the root never touches the key).
+                assert_eq!(key.len(), 0);
+            }
+        });
+        let leaks = report.leaks.expect("ledger armed");
+        assert_eq!(leaks.tls_leaked_bytes, 0);
+        assert!(leaks.is_clean(), "storm leaked: {leaks:?}");
     }
 
     #[test]

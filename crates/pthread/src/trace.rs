@@ -198,6 +198,22 @@ pub enum EventKind {
         /// Freed size.
         bytes: u64,
     },
+    /// A free underflowed the live byte count (a double free in the
+    /// modelled program); always recorded, regardless of threshold.
+    FreeUnderflow {
+        /// Bytes by which the free exceeded the live count.
+        bytes: u64,
+    },
+    /// The committed footprint first crossed the armed space bound
+    /// ([`crate::Config::with_space_bound`]); recorded once, at the
+    /// crossing growth (footprint is monotone, so one event marks the
+    /// excursion; `MemStats::bound_violations` counts every growth above).
+    BoundViolation {
+        /// Footprint after the crossing growth.
+        footprint: u64,
+        /// The armed bound in bytes.
+        bound: u64,
+    },
 }
 
 impl EventKind {
@@ -217,6 +233,8 @@ impl EventKind {
             EventKind::StackRelease { .. } => "stack-release",
             EventKind::Alloc { .. } => "alloc",
             EventKind::Free { .. } => "free",
+            EventKind::FreeUnderflow { .. } => "free-underflow",
+            EventKind::BoundViolation { .. } => "bound-violation",
         }
     }
 }
@@ -253,6 +271,9 @@ pub struct Counters {
     pub active_deques: Vec<(VirtTime, u64)>,
     /// Cumulative scheduler-lock contention wait in nanoseconds.
     pub sched_lock_wait: Vec<(VirtTime, u64)>,
+    /// Bytes cached in the host fiber-stack pool, sampled at every
+    /// acquire/release (host memory; not part of the virtual footprint).
+    pub host_pool_cached: Vec<(VirtTime, u64)>,
 }
 
 /// Per-thread lifecycle record.
@@ -466,6 +487,14 @@ impl Trace {
         }
     }
 
+    /// Samples the host stack-pool cached bytes (deduplicating unchanged
+    /// values).
+    pub(crate) fn sample_pool_cached(&mut self, at: VirtTime, bytes: u64) {
+        if self.counters.host_pool_cached.last().map(|&(_, v)| v) != Some(bytes) {
+            self.counters.host_pool_cached.push((at, bytes));
+        }
+    }
+
     /// Merges the machine-level recording (memory events, exactly-sampled
     /// footprint/live-thread/lock-wait tracks) and sorts the merged event
     /// stream by virtual time. Called once at end of run.
@@ -476,6 +505,10 @@ impl Trace {
                 MemEventKind::Free { bytes } => EventKind::Free { bytes },
                 MemEventKind::StackReserve { bytes } => EventKind::StackReserve { bytes },
                 MemEventKind::StackRelease { bytes } => EventKind::StackRelease { bytes },
+                MemEventKind::FreeUnderflow { bytes } => EventKind::FreeUnderflow { bytes },
+                MemEventKind::BoundViolation { footprint, bound } => {
+                    EventKind::BoundViolation { footprint, bound }
+                }
             };
             self.events.push(Event {
                 at: e.at,
@@ -495,6 +528,7 @@ impl Trace {
         self.counters.sched_lock_wait.sort_by_key(|&(at, _)| at);
         self.counters.ready.sort_by_key(|&(at, _)| at);
         self.counters.active_deques.sort_by_key(|&(at, _)| at);
+        self.counters.host_pool_cached.sort_by_key(|&(at, _)| at);
         self.events.sort_by_key(|e| e.at);
     }
 
@@ -608,6 +642,7 @@ impl Trace {
             ("ready", &self.counters.ready),
             ("active-deques", &self.counters.active_deques),
             ("sched-lock-wait", &self.counters.sched_lock_wait),
+            ("host-pool-cached", &self.counters.host_pool_cached),
         ] {
             if track.windows(2).any(|w| w[1].0 < w[0].0) {
                 return Err(format!("counter track {name} has out-of-order samples"));
@@ -704,7 +739,14 @@ impl Trace {
                 EventKind::StackReserve { bytes }
                 | EventKind::StackRelease { bytes }
                 | EventKind::Alloc { bytes }
-                | EventKind::Free { bytes } => args.push(("bytes", Value::UInt(bytes))),
+                | EventKind::Free { bytes }
+                | EventKind::FreeUnderflow { bytes } => {
+                    args.push(("bytes", Value::UInt(bytes)));
+                }
+                EventKind::BoundViolation { footprint, bound } => {
+                    args.push(("footprint", Value::UInt(footprint)));
+                    args.push(("bound", Value::UInt(bound)));
+                }
                 EventKind::FirstDispatch | EventKind::Preempt => {}
             }
             records.push(obj(vec![
@@ -723,6 +765,7 @@ impl Trace {
             ("ready", "entries", &self.counters.ready),
             ("active-deques", "deques", &self.counters.active_deques),
             ("sched-lock-wait", "waitNs", &self.counters.sched_lock_wait),
+            ("host-pool-cached", "bytes", &self.counters.host_pool_cached),
         ] {
             for &(at, v) in track {
                 records.push(obj(vec![
@@ -871,6 +914,14 @@ impl Trace {
                         "alloc" => EventKind::Alloc {
                             bytes: arg_u64("bytes").ok_or("alloc without bytes")?,
                         },
+                        "free-underflow" => EventKind::FreeUnderflow {
+                            bytes: arg_u64("bytes").ok_or("free-underflow without bytes")?,
+                        },
+                        "bound-violation" => EventKind::BoundViolation {
+                            footprint: arg_u64("footprint")
+                                .ok_or("bound-violation without footprint")?,
+                            bound: arg_u64("bound").ok_or("bound-violation without bound")?,
+                        },
                         "free" => EventKind::Free {
                             bytes: arg_u64("bytes").ok_or("free without bytes")?,
                         },
@@ -891,6 +942,7 @@ impl Trace {
                         "ready" => (&mut trace.counters.ready, "entries"),
                         "active-deques" => (&mut trace.counters.active_deques, "deques"),
                         "sched-lock-wait" => (&mut trace.counters.sched_lock_wait, "waitNs"),
+                        "host-pool-cached" => (&mut trace.counters.host_pool_cached, "bytes"),
                         other => return Err(format!("unknown counter {other:?}")),
                     };
                     track.push((at, arg_u64(unit).ok_or("counter without value")?));

@@ -37,11 +37,21 @@ impl HeapModel {
     }
 
     /// Frees `bytes`, returning them to the reuse pool.
-    pub fn free(&mut self, bytes: u64) {
+    ///
+    /// Returns the number of bytes by which the free *underflowed* the live
+    /// count — `0` for a valid free, positive when more bytes were freed
+    /// than were ever live (a double free or a free of unallocated memory in
+    /// the modelled program). The accounting itself is unchanged either way
+    /// (live clamps at zero, the whole request enters the reuse pool), so
+    /// footprint metrics stay identical to the old saturating behaviour;
+    /// the caller is expected to surface the underflow instead of hiding it.
+    #[must_use = "a non-zero return is a double-free in the modelled program"]
+    pub fn free(&mut self, bytes: u64) -> u64 {
         self.frees += 1;
-        debug_assert!(bytes <= self.live, "free of {} bytes with only {} live", bytes, self.live);
-        self.live = self.live.saturating_sub(bytes);
+        let underflow = bytes.saturating_sub(self.live);
+        self.live -= bytes - underflow;
         self.free_pool += bytes;
+        underflow
     }
 
     /// Currently live (non-freed) bytes.
@@ -148,7 +158,7 @@ mod tests {
         let mut h = HeapModel::new();
         assert_eq!(h.alloc(100), 100);
         assert_eq!(h.footprint(), 100);
-        h.free(100);
+        assert_eq!(h.free(100), 0);
         assert_eq!(h.live(), 0);
         assert_eq!(h.footprint(), 100);
         // Reuse: no fresh bytes.
@@ -165,10 +175,24 @@ mod tests {
         let mut h = HeapModel::new();
         h.alloc(50);
         h.alloc(70);
-        h.free(50);
+        assert_eq!(h.free(50), 0);
         h.alloc(10);
         assert_eq!(h.live_hwm(), 120);
         assert_eq!(h.live(), 80);
+    }
+
+    #[test]
+    fn free_underflow_is_reported_not_hidden() {
+        let mut h = HeapModel::new();
+        h.alloc(100);
+        // Double free: the second free exceeds live by 60 bytes.
+        assert_eq!(h.free(80), 0);
+        assert_eq!(h.free(80), 60);
+        assert_eq!(h.live(), 0);
+        // Accounting matches the old saturating behaviour exactly.
+        assert_eq!(h.footprint(), 100);
+        let (allocs, frees, _) = h.counters();
+        assert_eq!((allocs, frees), (1, 2));
     }
 
     #[test]

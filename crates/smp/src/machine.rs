@@ -44,6 +44,12 @@ pub struct Machine {
     threads_created: u64,
     dummy_threads: u64,
     prune_tick: u64,
+    /// Frees that underflowed the live byte count (double frees).
+    free_underflows: u64,
+    /// Armed space bound in bytes (see [`Machine::arm_space_bound`]).
+    space_bound: Option<u64>,
+    /// Footprint growths observed above the armed bound.
+    bound_violations: u64,
     /// Flight recording, when enabled (see [`Machine::enable_recording`]).
     recorder: Option<Box<Recorder>>,
     /// Schedule perturbation, when enabled (see
@@ -81,8 +87,49 @@ impl Machine {
             threads_created: 0,
             dummy_threads: 0,
             prune_tick: 0,
+            free_underflows: 0,
+            space_bound: None,
+            bound_violations: 0,
             recorder: None,
             perturb: None,
+        }
+    }
+
+    /// Arms the space-bound enforcer: every footprint growth is checked
+    /// against `limit_bytes` (typically `S1 + c·p·D`, with S1 measured by a
+    /// serial run and D by the DAG crosscheck). Growths above the bound are
+    /// counted into [`MemStats::bound_violations`]; the *crossing* growth
+    /// additionally records a [`MemEventKind::BoundViolation`] event when
+    /// recording is on (the footprint never shrinks, so one event marks the
+    /// whole excursion). Enforcement never alters the accounting itself —
+    /// footprint metrics stay bit-identical to an unarmed run.
+    pub fn arm_space_bound(&mut self, limit_bytes: u64) {
+        self.space_bound = Some(limit_bytes);
+    }
+
+    /// The armed space bound, if any.
+    pub fn space_bound(&self) -> Option<u64> {
+        self.space_bound
+    }
+
+    /// Checks the current footprint against the armed bound after a growth
+    /// on processor `p`. Called from every path that can grow the footprint.
+    fn check_space_bound(&mut self, p: ProcId) {
+        let Some(bound) = self.space_bound else { return };
+        let footprint = self.heap.footprint();
+        if footprint <= bound {
+            return;
+        }
+        let crossing = self.bound_violations == 0;
+        self.bound_violations += 1;
+        if crossing {
+            if let Some(r) = self.recorder.as_deref_mut() {
+                r.event(
+                    self.procs[p].clock,
+                    p,
+                    MemEventKind::BoundViolation { footprint, bound },
+                );
+            }
         }
     }
 
@@ -220,18 +267,29 @@ impl Machine {
             r.event(at, p, MemEventKind::Alloc { bytes });
             r.sample_footprint(at, fp);
         }
+        self.check_space_bound(p);
     }
 
-    /// Models freeing `bytes` on processor `p`.
-    pub fn free(&mut self, p: ProcId, bytes: u64) {
-        self.heap.free(bytes);
+    /// Models freeing `bytes` on processor `p`. Returns the underflow in
+    /// bytes — `0` for a valid free, positive when the program freed more
+    /// than was live (a double free; also counted and, when recording, made
+    /// into a [`MemEventKind::FreeUnderflow`] event).
+    pub fn free(&mut self, p: ProcId, bytes: u64) -> u64 {
+        let underflow = self.heap.free(bytes);
         let cost = self.cost.free_base;
         self.charge(p, Bucket::MemSys, cost);
+        if underflow > 0 {
+            self.free_underflows += 1;
+        }
         if self.recorder.is_some() {
             let at = self.procs[p].clock;
             let r = self.recorder.as_deref_mut().expect("checked");
             r.event(at, p, MemEventKind::Free { bytes });
+            if underflow > 0 {
+                r.event(at, p, MemEventKind::FreeUnderflow { bytes: underflow });
+            }
         }
+        underflow
     }
 
     /// Models thread creation bookkeeping on `p` (thread-create overhead and
@@ -263,6 +321,7 @@ impl Machine {
             r.sample_live(at, live);
             r.sample_footprint(at, fp);
         }
+        self.check_space_bound(p);
         committed
     }
 
@@ -282,6 +341,7 @@ impl Machine {
                 let r = self.recorder.as_deref_mut().expect("checked");
                 r.sample_footprint(at, fp);
             }
+            self.check_space_bound(p);
             target
         } else {
             committed
@@ -294,7 +354,10 @@ impl Machine {
         debug_assert!(self.live_threads > 0);
         self.live_threads -= 1;
         if !self.stacks.release(reserved, committed) {
-            self.heap.free(committed);
+            // Stack bytes are runtime-managed; an underflow here would be a
+            // runtime bug, not an application double free.
+            let underflow = self.heap.free(committed);
+            debug_assert_eq!(underflow, 0, "stack free underflowed live bytes");
             let cost = self.cost.free_base;
             self.charge(p, Bucket::MemSys, cost);
         }
@@ -397,6 +460,13 @@ impl Machine {
                 stack_fresh,
                 cache_hits,
                 cache_misses,
+                free_underflows: self.free_underflows,
+                bound_violations: self.bound_violations,
+                // Host fiber-stack pool counters live in the threads
+                // runtime; it folds them in after finish().
+                host_stack_hits: 0,
+                host_stack_misses: 0,
+                host_stack_cached_hwm: 0,
             },
             sched_lock_acquisitions: lock_acq,
             sched_lock_wait: lock_wait,
@@ -522,6 +592,68 @@ mod tests {
         assert_ne!(a, c, "different seeds must explore different timelines");
         // Jitter is bounded: 32 sync ops can add at most 32 * 96ns.
         assert!(a.0.since(base.0) <= VirtTime::from_ns(32 * 96));
+    }
+
+    #[test]
+    fn free_underflow_counted_and_recorded() {
+        let mut m = machine(1);
+        m.enable_recording(u64::MAX); // suppress ordinary alloc/free events
+        m.alloc(0, 4096);
+        assert_eq!(m.free(0, 4096), 0);
+        assert_eq!(m.free(0, 4096), 4096, "double free must surface");
+        let rec = m.take_recording().unwrap();
+        let stats = m.finish();
+        assert_eq!(stats.mem.free_underflows, 1);
+        // The underflow event bypasses the threshold.
+        assert!(rec
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, MemEventKind::FreeUnderflow { bytes: 4096 })));
+    }
+
+    #[test]
+    fn space_bound_counts_growths_above_limit() {
+        let mut m = machine(1);
+        m.enable_recording(u64::MAX);
+        m.arm_space_bound(10_000);
+        m.alloc(0, 8_000); // within bound
+        m.alloc(0, 8_000); // crosses: 16_000 > 10_000
+        m.alloc(0, 8_000); // still above
+        let _ = m.free(0, 24_000);
+        m.alloc(0, 1_000); // reuse, footprint unchanged — still above
+        let rec = m.take_recording().unwrap();
+        let stats = m.finish();
+        assert_eq!(stats.mem.bound_violations, 3);
+        assert_eq!(stats.mem.footprint_hwm, 24_000, "accounting unaltered");
+        let crossings: Vec<_> = rec
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, MemEventKind::BoundViolation { .. }))
+            .collect();
+        assert_eq!(crossings.len(), 1, "only the crossing growth records an event");
+        assert!(matches!(
+            crossings[0].kind,
+            MemEventKind::BoundViolation { footprint: 16_000, bound: 10_000 }
+        ));
+    }
+
+    #[test]
+    fn unarmed_bound_never_fires() {
+        let mut m = machine(1);
+        m.alloc(0, 1 << 30);
+        assert_eq!(m.space_bound(), None);
+        let stats = m.finish();
+        assert_eq!(stats.mem.bound_violations, 0);
+    }
+
+    #[test]
+    fn stack_growth_checks_the_bound_too() {
+        let mut m = machine(1);
+        m.arm_space_bound(4 * 1024);
+        let c = m.thread_create(0, 1024 * 1024); // commits 8 KiB at create
+        let _ = m.thread_first_run(0, 1024 * 1024, c);
+        let stats = m.finish();
+        assert!(stats.mem.bound_violations >= 2, "create + first-run growths");
     }
 
     #[test]

@@ -40,6 +40,21 @@ pub enum MemEventKind {
         /// Reserved stack bytes released.
         bytes: u64,
     },
+    /// A free that exceeded the live byte count — a double free (or free of
+    /// unallocated memory) in the modelled program. Always recorded,
+    /// regardless of the alloc/free threshold.
+    FreeUnderflow {
+        /// Bytes freed beyond what was live.
+        bytes: u64,
+    },
+    /// The committed footprint crossed the armed space bound
+    /// (see `Machine::arm_space_bound`). Recorded once, at the crossing.
+    BoundViolation {
+        /// Footprint at the moment of the violation.
+        footprint: u64,
+        /// The armed bound in bytes.
+        bound: u64,
+    },
 }
 
 /// One machine-level event on the virtual timeline.
@@ -124,7 +139,10 @@ impl Recorder {
             MemEventKind::Alloc { bytes } | MemEventKind::Free { bytes } => {
                 bytes >= self.threshold
             }
-            MemEventKind::StackReserve { .. } | MemEventKind::StackRelease { .. } => true,
+            MemEventKind::StackReserve { .. }
+            | MemEventKind::StackRelease { .. }
+            | MemEventKind::FreeUnderflow { .. }
+            | MemEventKind::BoundViolation { .. } => true,
         };
         if keep {
             self.rec.events.push(MemEvent { at, proc, kind });

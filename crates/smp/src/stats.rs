@@ -137,6 +137,21 @@ pub struct MemStats {
     pub cache_hits: u64,
     /// Cache-model misses across processors.
     pub cache_misses: u64,
+    /// Frees that underflowed the live byte count (double frees in the
+    /// modelled program). Zero in a correct run.
+    pub free_underflows: u64,
+    /// Footprint growths observed above the armed space bound
+    /// (`Machine::arm_space_bound`); zero when unarmed or within bound.
+    pub bound_violations: u64,
+    /// Host (real) fiber-stack pool hits — spawns served a recycled stack.
+    /// Filled in by the threads runtime; the virtual machine itself only
+    /// models the Solaris default-size cache (`stack_cache_hits`).
+    pub host_stack_hits: u64,
+    /// Host fiber-stack pool misses (fresh host allocations).
+    pub host_stack_misses: u64,
+    /// High-water mark of bytes cached in the host fiber-stack pool. These
+    /// bytes are part of the process footprint while cached.
+    pub host_stack_cached_hwm: u64,
 }
 
 /// Complete result of one virtual-SMP run.

@@ -60,7 +60,7 @@ proptest! {
         for (i, &bytes) in ops.iter().enumerate() {
             if i % 3 == 2 && !outstanding.is_empty() {
                 let b = outstanding.pop().unwrap();
-                h.free(b);
+                prop_assert_eq!(h.free(b), 0, "frees of live bytes never underflow");
                 live_ref -= b;
                 pool_ref += b;
             } else {

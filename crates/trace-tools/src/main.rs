@@ -3,7 +3,7 @@
 //! The runtime's flight recorder ([`ptdf::Trace`], enabled with
 //! [`ptdf::Config::with_trace`]) exports Chrome/Perfetto trace-event JSON.
 //! This tool reads those files back (they round-trip losslessly through
-//! `Trace::from_chrome_json`) and offers four subcommands:
+//! `Trace::from_chrome_json`) and offers five subcommands:
 //!
 //! * `summarize <trace.json>` — configuration echo, span/event tallies,
 //!   counter-track maxima, and per-thread lifecycle percentiles
@@ -14,6 +14,12 @@
 //!   `S1 + O(p·D)` guarantee: with `--s1` (serial footprint, bytes) and
 //!   `--depth` (per-processor depth allowance, bytes) the footprint
 //!   high-water mark must stay within `S1 + factor·p·depth`.
+//! * `audit <trace.json>... --s1 B --depth B [--factor F]` — the same
+//!   space-bound comparison as `validate`, batched over many traces and
+//!   reporting the *margin* to the bound per trace (how far under — or
+//!   over — `S1 + factor·p·D` the run peaked), along with any
+//!   bound-violation events the runtime itself recorded when armed via
+//!   [`ptdf::Config::with_space_bound`].
 //! * `check <trace.json>...` — run the happens-before checker
 //!   ([`ptdf::check_trace`]) over each trace: lost notifies/wakeups,
 //!   wait-past-notify, block/wake pairing, lifecycle inversions. Prints a
@@ -35,6 +41,7 @@ fn main() -> ExitCode {
     let code = match args.first().map(String::as_str) {
         Some("summarize") => cmd_summarize(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
+        Some("audit") => cmd_audit(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
@@ -63,6 +70,13 @@ commands:
       Structural validation; with --s1 and --depth also audits the
       footprint high-water mark against S1 + factor * p * depth
       (factor defaults to 1.0).
+  audit <trace.json>... --s1 BYTES --depth BYTES [--factor F]
+      Space-bound audit with margin: for each trace, compare the
+      footprint high-water mark against S1 + factor * p * depth and
+      print the margin to the bound (negative = over). Also reports
+      bound-violation events the runtime recorded when the run was
+      armed with Config::with_space_bound. Exits 1 if any trace is
+      over the bound.
   check <trace.json>...
       Happens-before checking: lost notifies/wakeups, wait-past-notify,
       block/wake pairing, lifecycle inversions. Exits 1 if any trace
@@ -247,6 +261,89 @@ fn parse_flag_u64(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<u
         .ok_or_else(|| format!("{flag} expects a value"))?
         .parse()
         .map_err(|e| format!("{flag}: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// audit
+// ---------------------------------------------------------------------------
+
+fn cmd_audit(args: &[String]) -> Result<ExitCode, String> {
+    let mut paths = Vec::new();
+    let mut s1 = None;
+    let mut depth = None;
+    let mut factor = 1.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--s1" => s1 = Some(parse_flag_u64(&mut it, "--s1")?),
+            "--depth" => depth = Some(parse_flag_u64(&mut it, "--depth")?),
+            "--factor" => {
+                factor = it
+                    .next()
+                    .ok_or("--factor expects a value")?
+                    .parse()
+                    .map_err(|e| format!("--factor: {e}"))?
+            }
+            other if !other.starts_with("--") => paths.push(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
+        }
+    }
+    if paths.is_empty() {
+        return Err(format!("audit expects at least one trace file\n{USAGE}"));
+    }
+    let s1 = s1.ok_or_else(|| format!("audit requires --s1\n{USAGE}"))?;
+    let depth = depth.ok_or_else(|| format!("audit requires --depth\n{USAGE}"))?;
+
+    let mut over = false;
+    for path in &paths {
+        let trace = load(path)?;
+        let (rendered, ok) = audit(path, &trace, s1, depth, factor);
+        print!("{rendered}");
+        over |= !ok;
+    }
+    Ok(if over {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+/// Renders one trace's margin-to-bound report. Returns the text and whether
+/// the trace stayed within `S1 + factor·p·depth`.
+fn audit(path: &str, trace: &Trace, s1: u64, depth: u64, factor: f64) -> (String, bool) {
+    use std::fmt::Write;
+    let hwm = trace.footprint_hwm();
+    let p = trace.meta.processors as u64;
+    let bound = (s1 as f64 + factor * p as f64 * depth as f64).round() as u64;
+    let margin = bound as i128 - hwm as i128;
+    let ok = hwm <= bound;
+    let verdict = if ok { "ok" } else { "OVER" };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{path}: {verdict} [{}/p{p}] hwm {hwm} B, bound {bound} B \
+         (S1 {s1} + {factor} * p * D {depth}), margin {margin:+} B",
+        trace.meta.scheduler
+    );
+
+    // Excursions the runtime itself observed, when the run was armed with
+    // Config::with_space_bound (its limit may differ from the CLI's terms).
+    let recorded: Vec<&ptdf::trace::Event> = trace
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, ptdf::trace::EventKind::BoundViolation { .. }))
+        .collect();
+    for e in &recorded {
+        if let ptdf::trace::EventKind::BoundViolation { footprint, bound } = e.kind {
+            let _ = writeln!(
+                out,
+                "  runtime bound crossed at {}: footprint {footprint} B > armed bound {bound} B",
+                e.at
+            );
+        }
+    }
+    (out, ok)
 }
 
 // ---------------------------------------------------------------------------
@@ -486,6 +583,39 @@ mod tests {
             rendered.contains("--sched fifo --perturb-seed 99"),
             "{rendered}"
         );
+    }
+
+    #[test]
+    fn audit_reports_margin_and_verdict() {
+        let t = sample_trace(SchedKind::Df);
+        let hwm = t.footprint_hwm();
+        // Generous bound: passes with positive margin.
+        let (out, ok) = audit("t.json", &t, hwm, 1024, 1.0);
+        assert!(ok, "{out}");
+        assert!(out.contains(": ok "), "{out}");
+        assert!(out.contains("margin +"), "{out}");
+        // Impossible bound: fails with negative margin.
+        let (out, ok) = audit("t.json", &t, 0, 0, 1.0);
+        assert!(!ok, "{out}");
+        assert!(out.contains(": OVER "), "{out}");
+        assert!(out.contains(&format!("margin -{hwm}")), "{out}");
+    }
+
+    #[test]
+    fn audit_surfaces_runtime_recorded_crossings() {
+        let (_, report) = run(
+            Config::new(2, SchedKind::Fifo)
+                .with_trace()
+                .with_space_bound(1),
+            || {
+                let h = ptdf::spawn(|| ptdf::work(1_000));
+                h.join();
+            },
+        );
+        assert!(report.bound_violations() > 0);
+        let t = report.trace.unwrap();
+        let (out, _) = audit("t.json", &t, u64::MAX / 2, 0, 1.0);
+        assert!(out.contains("runtime bound crossed at"), "{out}");
     }
 
     #[test]

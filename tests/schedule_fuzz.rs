@@ -14,6 +14,11 @@
 //!    running the same cell twice yields *equal* traces, so a failure
 //!    printed as `--sched <policy> --perturb-seed <seed>` is reproducible.
 //!
+//! Two memory-subsystem extensions ride on the same matrix: ledger-armed
+//! cells (tracked alloc/free per round must balance under every schedule)
+//! and failure-injection cells (denied spawns/allocations must degrade
+//! gracefully and be counted exactly).
+//!
 //! `REPRO_QUICK=1` shrinks the seed budget (64 → 8 per policy) for smoke
 //! runs in CI.
 
@@ -97,6 +102,110 @@ fn perturbation_matrix_is_clean_and_invariant() {
                 "{kind:?} seed {seed}: {:#?}\nreplay with: {}",
                 check.violations,
                 check.replay.as_deref().unwrap_or("(no recipe)")
+            );
+        }
+    }
+}
+
+#[test]
+fn ledger_armed_matrix_stays_clean_and_balanced() {
+    // The memory-subsystem cells of the matrix: the same sync storm with
+    // the allocation ledger armed, each thread routing a tracked buffer
+    // through rt_alloc/rt_free every round. Perturbation must never
+    // unbalance the ledger or dirty the trace.
+    let seeds = seed_budget() / 4; // heavier cells, smaller budget
+    for kind in [SchedKind::Df, SchedKind::DfDeques, SchedKind::Fifo] {
+        for seed in 0..seeds.max(2) {
+            let cfg = Config::new(4, kind)
+                .with_ledger()
+                .with_trace()
+                .with_perturbation(seed);
+            let ((total, _), report) = ptdf::run(cfg, || {
+                let (nthreads, rounds) = (4, 4);
+                let counter = Mutex::new(0u64);
+                let barrier = Barrier::new(nthreads);
+                ptdf::scope(|s| {
+                    for _ in 0..nthreads {
+                        let counter = counter.clone();
+                        let barrier = barrier.clone();
+                        s.spawn(move || {
+                            for _ in 0..rounds {
+                                ptdf::rt_alloc(4096);
+                                *counter.lock() += 1;
+                                ptdf::work(200);
+                                ptdf::rt_free(4096);
+                                barrier.wait();
+                            }
+                        });
+                    }
+                });
+                let total = *counter.lock();
+                (total, 0usize)
+            });
+            assert_eq!(total, 16, "{kind:?} seed {seed}: counter corrupted");
+            let leaks = report.leaks.as_ref().expect("ledger armed");
+            assert!(
+                leaks.is_clean(),
+                "{kind:?} seed {seed}: ledger unbalanced: {leaks:?}"
+            );
+            assert_eq!(leaks.total_allocated, 16 * 4096);
+            let check = check_trace(&report.trace.expect("tracing was enabled"));
+            assert!(check.is_clean(), "{kind:?} seed {seed}: {:#?}", check.violations);
+        }
+    }
+}
+
+#[test]
+fn failure_injection_matrix_degrades_gracefully() {
+    // Failure-injection cells: every spawn and allocation goes through the
+    // fallible entry points while the injector denies ~1 in 4 requests.
+    // Under every policy and seed the run must complete (no aborts), the
+    // work actually performed must balance, and denied requests must be
+    // exactly the injector's count.
+    let seeds = seed_budget() / 4;
+    for kind in POLICIES {
+        for seed in 0..seeds.max(2) {
+            let cfg = Config::new(4, kind)
+                .with_alloc_failures(4)
+                .with_perturbation(seed);
+            let ((spawned, denied_spawns, denied_allocs), report) = ptdf::run(cfg, || {
+                let mut spawned = 0u64;
+                let mut denied_spawns = 0u64;
+                let mut denied_allocs = 0u64;
+                let mut handles = Vec::new();
+                for i in 0..32u64 {
+                    match ptdf::try_spawn(move || {
+                        match ptdf::try_rt_alloc(1024) {
+                            Ok(()) => {
+                                ptdf::work(100 + i);
+                                ptdf::rt_free(1024);
+                                0u64
+                            }
+                            Err(_) => 1u64,
+                        }
+                    }) {
+                        Ok(h) => {
+                            spawned += 1;
+                            handles.push(h);
+                        }
+                        Err(_) => denied_spawns += 1,
+                    }
+                }
+                for h in handles {
+                    denied_allocs += h.join();
+                }
+                (spawned, denied_spawns, denied_allocs)
+            });
+            assert_eq!(spawned + denied_spawns, 32, "{kind:?} seed {seed}");
+            let leaks = report.leaks.as_ref().expect("injection implies ledger");
+            assert_eq!(
+                leaks.injected_failures,
+                denied_spawns + denied_allocs,
+                "{kind:?} seed {seed}: injector count drifted: {leaks:?}"
+            );
+            assert!(
+                leaks.is_clean(),
+                "{kind:?} seed {seed}: denied requests leaked: {leaks:?}"
             );
         }
     }

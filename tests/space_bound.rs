@@ -1,0 +1,90 @@
+//! End-to-end audit of the paper's space guarantee: the depth-first
+//! schedulers must keep every benchmark's footprint within
+//! `S1 + factor · p · D` (serial space plus a per-processor depth
+//! allowance), while the stock FIFO scheduler with 1 MB stacks blows the
+//! same bound on the fine-grained matmul (§3 / Figure 5). The bound is
+//! checked by the *runtime enforcer* ([`ptdf::Config::with_space_bound`]),
+//! not by post-hoc arithmetic, so this also exercises the armed machine
+//! end-to-end: violations surface through
+//! [`ptdf::Report::bound_violations`] and through [`ptdf::check_trace`]
+//! (the same signal `ptdf-trace audit` reads from an exported trace).
+//!
+//! `REPRO_QUICK=1` trims the all-benchmarks sweep to three apps for CI
+//! smoke runs; problem sizes themselves follow `REPRO_FULL` (see
+//! `ptdf_bench::full_scale`).
+
+use ptdf::{check_trace, Config, SchedKind, Violation, STACK_1MB};
+use ptdf_bench::drivers::{all_drivers, matmul_driver};
+
+const PROCS: usize = 4;
+
+/// Per-processor depth allowance `D`, in bytes: one depth-first path of
+/// live threads (stacks plus allocation overshoot along the path). With
+/// `FACTOR · p · D = 4 MB` this clears every benchmark's measured DF
+/// overhead at the test scale (max ≈ 3.3 MB, decision tree) while sitting
+/// far below the FIFO matmul explosion (≈ 21 MB over serial): FIFO leaks
+/// whole breadth levels of 1 MB stacks, not one path per processor.
+const DEPTH_BYTES: u64 = 256 * 1024;
+const FACTOR: u64 = 4;
+
+fn quick() -> bool {
+    std::env::var_os("REPRO_QUICK").is_some()
+}
+
+#[test]
+fn df_schedulers_stay_within_s1_plus_p_depth() {
+    let mut drivers = all_drivers();
+    if quick() {
+        drivers.truncate(3); // matmul, barnes-hut, fmm
+    }
+    for d in drivers {
+        let s1 = (d.serial)().s1_bytes();
+        for kind in [SchedKind::Df, SchedKind::DfDeques] {
+            let cfg =
+                Config::new(PROCS, kind).with_space_bound_terms(s1, FACTOR, DEPTH_BYTES);
+            let bound = cfg.space_bound.expect("armed");
+            let report = (d.fine)(cfg);
+            assert_eq!(
+                report.bound_violations(),
+                0,
+                "{} under {kind:?}: footprint {} exceeded S1 {s1} + {FACTOR}*p*D = {bound}",
+                d.name,
+                report.footprint(),
+            );
+            assert!(report.footprint() <= bound, "enforcer missed an excursion");
+        }
+    }
+}
+
+#[test]
+fn native_fifo_breaks_the_same_bound_on_fine_matmul() {
+    let d = matmul_driver();
+    let s1 = (d.serial)().s1_bytes();
+    let cfg = Config::new(PROCS, SchedKind::Fifo)
+        .with_stack(STACK_1MB)
+        .with_space_bound_terms(s1, FACTOR, DEPTH_BYTES)
+        .with_trace();
+    let bound = cfg.space_bound.expect("armed");
+    let report = (d.fine)(cfg);
+    assert!(
+        report.bound_violations() > 0,
+        "FIFO matmul stayed under the bound: footprint {} <= {bound}",
+        report.footprint(),
+    );
+    assert!(report.footprint() > bound);
+
+    // The excursion is visible to trace consumers: exactly one crossing
+    // event (the footprint is monotone) that check_trace reports.
+    let trace = report.trace.as_ref().expect("traced");
+    let check = check_trace(trace);
+    let crossings: Vec<_> = check
+        .violations
+        .iter()
+        .filter(|v| matches!(v, Violation::SpaceBound { .. }))
+        .collect();
+    assert_eq!(crossings.len(), 1, "one crossing marks the excursion");
+    if let Violation::SpaceBound { bound: b, footprint, .. } = crossings[0] {
+        assert_eq!(*b, bound);
+        assert!(*footprint > bound);
+    }
+}

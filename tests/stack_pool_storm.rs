@@ -1,0 +1,66 @@
+//! Fork/join churn at the acceptance scale: 100k threads through the full
+//! engine, asserting the fiber-stack pool serves ≥90% of spawns from cache
+//! (on the real-stack backend), that the pool's cached bytes respect the
+//! configured cap, and that footprint accounting is bit-identical to a
+//! pool-disabled run — recycling host stacks must be invisible to the
+//! space model.
+
+use ptdf::{Config, SchedKind};
+
+const THREADS: u64 = 100_000;
+const WAVE: u64 = 64;
+
+fn storm(cfg: Config) -> ptdf::Report {
+    let (_, report) = ptdf::run(cfg, || {
+        let mut done = 0u64;
+        while done < THREADS {
+            let wave = WAVE.min(THREADS - done);
+            let handles: Vec<_> = (0..wave).map(|_| ptdf::spawn(|| ())).collect();
+            for h in handles {
+                h.join();
+            }
+            done += wave;
+        }
+    });
+    report
+}
+
+#[test]
+fn hundred_k_storm_hits_the_pool() {
+    let report = storm(Config::new(4, SchedKind::Df));
+    assert_eq!(
+        report.stats.mem.host_stack_hits + report.stats.mem.host_stack_misses,
+        THREADS + 1, // every spawn plus the root fiber
+    );
+    if ptdf_fiber::HAS_REAL_STACKS {
+        let rate = report.stack_pool_hit_rate();
+        assert!(rate >= 0.9, "pool hit rate {rate} < 0.9");
+        // A 64-wide wave of 64 KiB fiber stacks never outgrows the cap, so
+        // nothing is evicted and the high-water mark stays under it.
+        let cap = Config::new(4, SchedKind::Df).stack_pool_cap as u64;
+        assert!(report.stats.mem.host_stack_cached_hwm <= cap);
+        assert!(report.stats.mem.host_stack_cached_hwm > 0);
+    } else {
+        assert_eq!(report.stack_pool_hit_rate(), 0.0);
+    }
+}
+
+#[test]
+fn pooling_is_invisible_to_the_space_model() {
+    let pooled = storm(Config::new(2, SchedKind::Df));
+    let unpooled = storm(Config::new(2, SchedKind::Df).with_stack_pool_cap(0));
+    assert_eq!(
+        pooled.stats.mem.footprint_hwm, unpooled.stats.mem.footprint_hwm,
+        "host stack recycling changed the modeled footprint"
+    );
+    assert_eq!(pooled.stats.mem.live_hwm, unpooled.stats.mem.live_hwm);
+    assert_eq!(
+        pooled.stats.mem.live_threads_hwm,
+        unpooled.stats.mem.live_threads_hwm
+    );
+    assert_eq!(pooled.makespan(), unpooled.makespan());
+    if ptdf_fiber::HAS_REAL_STACKS {
+        assert_eq!(unpooled.stats.mem.host_stack_hits, 0);
+        assert_eq!(unpooled.stats.mem.host_stack_cached_hwm, 0);
+    }
+}
