@@ -15,7 +15,13 @@
 //!    flagged, so shared-host scheduling noise doesn't trip the gate.
 //!    Guard mode also re-runs the engine spawn storm and holds the pooled
 //!    fiber-stack path to the committed baseline, to the unpooled path,
-//!    and to a ≥90% pool hit rate.
+//!    and to a ≥90% pool hit rate. Finally it re-runs the sentinel-armed
+//!    join storm and holds the deadlock sentinel's waits-for bookkeeping
+//!    to the committed `sentinel_storm` baseline within
+//!    `TRACE_GUARD_SENTINEL_TOL` (default 0.05 = 5%); the sentinel's cost
+//!    on the *policy-level* indexed dispatch paths is zero by design
+//!    (bookkeeping lives in the engine's block/unblock paths), which the
+//!    micro-storm comparison above witnesses.
 //!
 //! Run with: `cargo bench -p ptdf-bench --bench trace_overhead`
 //! (`REPRO_QUICK=1` for the CI smoke configuration.)
@@ -145,7 +151,45 @@ fn guard() -> i32 {
     }
 
     failed |= spawn_guard(&doc, tol);
+    failed |= sentinel_guard(&doc);
     i32::from(failed)
+}
+
+/// Holds the line on the deadlock sentinel's waits-for bookkeeping: fresh
+/// ns per blocking join must stay within `TRACE_GUARD_SENTINEL_TOL`
+/// (default 5%) of the committed `sentinel_storm` baseline.
+fn sentinel_guard(doc: &Value) -> bool {
+    const GUARD_RETRIES: usize = 4;
+    let tol: f64 = std::env::var("TRACE_GUARD_SENTINEL_TOL")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.05);
+    let fresh = wallclock::run_sentinel_storm();
+    let baseline = doc.get("sentinel_storm").and_then(Value::as_arr).and_then(|arr| {
+        arr.iter()
+            .find(|b| b.get("joins").and_then(Value::as_u64) == Some(fresh.joins))
+            .and_then(|b| b.get("ns_per_join").and_then(Value::as_f64))
+    });
+    let Some(base) = baseline else {
+        println!("  sentinel_storm: no committed baseline for {} joins", fresh.joins);
+        return false;
+    };
+    let mut best = fresh.ns_per_join;
+    let mut retries = 0;
+    while best > base * (1.0 + tol) && retries < GUARD_RETRIES {
+        best = best.min(wallclock::remeasure_sentinel().ns_per_join);
+        retries += 1;
+    }
+    let ratio = best / base;
+    let verdict = if ratio <= 1.0 + tol { "ok" } else { "REGRESSION" };
+    println!(
+        "  sentinel_storm @{:>7} joins: {best:.1} ns vs {base:.1} ns baseline \
+         ({:+.1}%, tol {:.0}%, {retries} retries) {verdict}",
+        fresh.joins,
+        (ratio - 1.0) * 100.0,
+        tol * 100.0
+    );
+    ratio > 1.0 + tol
 }
 
 /// Holds the line on the pooled spawn path: fresh pooled ns/spawn must stay

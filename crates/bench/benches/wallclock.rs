@@ -71,8 +71,23 @@ fn main() {
     }
     t.finish();
 
+    let sentinel = wallclock::run_sentinel_storm();
+    let mut t = Table::new(
+        "wallclock_sentinel",
+        "Sentinel-armed join storm: host ns per blocking join (waits-for bookkeeping on every one)",
+        &["joins", "ns/join"],
+    );
+    t.row(vec![
+        sentinel.joins.to_string(),
+        format!("{:.1}", sentinel.ns_per_join),
+    ]);
+    t.finish();
+
     let path = wallclock::json_path();
-    std::fs::write(&path, wallclock::to_json(&micro, &apps, &spawn))
-        .expect("write BENCH_sched.json");
+    std::fs::write(
+        &path,
+        wallclock::to_json(&micro, &apps, &spawn, std::slice::from_ref(&sentinel)),
+    )
+    .expect("write BENCH_sched.json");
     println!("[json written to {}]", path.display());
 }

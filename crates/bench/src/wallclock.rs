@@ -29,6 +29,12 @@
 //!    line that pooled spawn is never slower than the committed baseline
 //!    or than the unpooled path.
 //!
+//! 4. **Sentinel-armed join storm** — fork/join waves whose every join
+//!    *blocks*, so the deadlock sentinel's waits-for bookkeeping (edge
+//!    install, cycle walk, teardown) runs on each one. The committed
+//!    `ns_per_join` cell is the baseline the overhead guard holds the
+//!    bookkeeping to (default 5% tolerance).
+//!
 //! `REPRO_QUICK=1` shrinks the storm sizes and budgets for CI smoke runs.
 
 use std::fmt::Write as _;
@@ -382,6 +388,70 @@ pub fn remeasure_spawn_pooled() -> SpawnPoint {
     spawn_storm_once(spawn_storm_threads(), ptdf_fiber::DEFAULT_POOL_CAP)
 }
 
+/// One sentinel-armed join-storm measurement: fork/join churn shaped so
+/// every `join` *blocks*, driving the deadlock sentinel's waits-for
+/// bookkeeping (join edge install, cycle walk, edge teardown) on each one.
+#[derive(Debug, Clone)]
+pub struct SentinelPoint {
+    /// Joins performed (each a blocking join through the sentinel).
+    pub joins: u64,
+    /// Host nanoseconds per blocking join (total runtime / joins).
+    pub ns_per_join: f64,
+}
+
+/// Joins in the sentinel storm.
+pub fn sentinel_storm_joins() -> u64 {
+    if quick() {
+        10_000
+    } else {
+        50_000
+    }
+}
+
+/// One sentinel-storm run: waves of children that each carry real modelled
+/// work, so the parent's joins reach the sentinel while the children still
+/// run — every join installs a waits-for edge and walks the graph.
+fn sentinel_storm_once(joins: u64) -> SentinelPoint {
+    let cfg = Config::new(4, SchedKind::Df);
+    let start = Instant::now();
+    ptdf::run(cfg, move || {
+        let mut done = 0u64;
+        while done < joins {
+            let wave = 32.min(joins - done);
+            let handles: Vec<_> = (0..wave)
+                .map(|_| ptdf::spawn(|| ptdf::work(2_000)))
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            done += wave;
+        }
+    });
+    let host = start.elapsed();
+    SentinelPoint {
+        joins,
+        ns_per_join: host.as_nanos() as f64 / joins as f64,
+    }
+}
+
+/// Runs the sentinel-armed join storm, best of `STORM_REPS` repetitions.
+pub fn run_sentinel_storm() -> SentinelPoint {
+    let joins = sentinel_storm_joins();
+    let mut best = sentinel_storm_once(joins);
+    for _ in 1..STORM_REPS {
+        let p = sentinel_storm_once(joins);
+        if p.ns_per_join < best.ns_per_join {
+            best = p;
+        }
+    }
+    best
+}
+
+/// Re-measures the sentinel storm once (the guard's retry hook).
+pub fn remeasure_sentinel() -> SentinelPoint {
+    sentinel_storm_once(sentinel_storm_joins())
+}
+
 fn json_f(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.1}")
@@ -391,7 +461,12 @@ fn json_f(v: f64) -> String {
 }
 
 /// Renders the whole result set as the `BENCH_sched.json` document.
-pub fn to_json(micro: &[StormPoint], apps: &[AppPoint], spawn: &[SpawnPoint]) -> String {
+pub fn to_json(
+    micro: &[StormPoint],
+    apps: &[AppPoint],
+    spawn: &[SpawnPoint],
+    sentinel: &[SentinelPoint],
+) -> String {
     let mut s = String::new();
     s.push_str("{\n  \"bench\": \"wallclock\",\n");
     let _ = writeln!(s, "  \"quick\": {},", quick());
@@ -440,6 +515,16 @@ pub fn to_json(micro: &[StormPoint], apps: &[AppPoint], spawn: &[SpawnPoint]) ->
             p.pool_hit_rate
         );
         s.push_str(if i + 1 < spawn.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n  \"sentinel_storm\": [\n");
+    for (i, p) in sentinel.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"joins\": {}, \"ns_per_join\": {}}}",
+            p.joins,
+            json_f(p.ns_per_join)
+        );
+        s.push_str(if i + 1 < sentinel.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ]\n}\n");
     s

@@ -26,6 +26,13 @@
 //! * **Lifecycle causality** — a thread cannot first-dispatch before its
 //!   spawn, exit before its first dispatch, or be joined before its exit;
 //!   the run's `live-threads` counter must return to zero.
+//! * **Deadlocks** — the runtime's deadlock sentinel records one
+//!   [`EventKind::Deadlock`] event per waits-for-cycle member; the checker
+//!   reassembles the cycle and reports it as [`Violation::Deadlock`], so a
+//!   trace containing a detected deadlock is dirty by construction.
+//!   [`EventKind::Timeout`] wakes (timed waits expiring) are the second
+//!   sanctioned exception to the handoff protocol: the deadline heap, not a
+//!   notifier, published the wake.
 //!
 //! ## Why the checker runs in timestamp order, not "engine order"
 //!
@@ -166,6 +173,15 @@ pub enum Violation {
         /// Time of the offending free.
         at: VirtTime,
     },
+    /// The runtime's deadlock sentinel detected a waits-for cycle (recorded
+    /// as one [`EventKind::Deadlock`] event per member). Thread `cycle[i]`
+    /// waits for a resource held by `cycle[(i + 1) % len]`.
+    Deadlock {
+        /// Member thread ids in waits-for order.
+        cycle: Vec<u32>,
+        /// Time of detection.
+        at: VirtTime,
+    },
     /// The committed footprint crossed the armed space bound
     /// ([`crate::Config::with_space_bound`], typically `S1 + c·p·D`).
     SpaceBound {
@@ -236,6 +252,13 @@ impl std::fmt::Display for Violation {
                 "free underflow: a free at {at} exceeded the live byte count by {bytes} \
                  (double free)"
             ),
+            Violation::Deadlock { cycle, at } => {
+                write!(f, "deadlock at {at}: waits-for cycle ")?;
+                for t in cycle {
+                    write!(f, "t{t} -> ")?;
+                }
+                write!(f, "t{}", cycle.first().copied().unwrap_or(0))
+            }
             Violation::SpaceBound { footprint, bound, at } => write!(
                 f,
                 "space bound exceeded: footprint {footprint} crossed the armed bound \
@@ -324,6 +347,10 @@ pub fn check_trace(trace: &Trace) -> CheckReport {
     let mut notifiers: HashMap<u32, Vec<u32>> = HashMap::new();
     // Naked notifies per object: (notifier, notifier's VC counter, time).
     let mut naked: HashMap<u32, Vec<(u32, u64, VirtTime)>> = HashMap::new();
+    // Sentinel-recorded deadlocks: cycle id → (detection time, members in
+    // waits-for order — the runtime publishes one event per member, in
+    // cycle order, at the same timestamp).
+    let mut cycles: HashMap<u32, (VirtTime, Vec<u32>)> = HashMap::new();
 
     let tick = |vcs: &mut HashMap<u32, Vc>, t: u32| -> u64 {
         if track_vcs {
@@ -447,6 +474,33 @@ pub fn check_trace(trace: &Trace) -> CheckReport {
                     }
                 }
             }
+            EventKind::Timeout { obj: _ } => {
+                // A timed wait expired: the deadline heap, not a notifier,
+                // published this wake — sanctioned without a Notify edge.
+                match pending.remove(&subject) {
+                    None => violations.push(Violation::SpuriousWake {
+                        thread: subject,
+                        at: e.at,
+                    }),
+                    Some(block) => {
+                        if e.at < block.at {
+                            violations.push(Violation::WakeTimeInversion {
+                                thread: subject,
+                                blocked_at: block.at,
+                                woken_at: e.at,
+                            });
+                        }
+                        tick(&mut vcs, subject);
+                    }
+                }
+            }
+            EventKind::Deadlock { cycle, .. } => {
+                tick(&mut vcs, subject);
+                let slot = cycles.entry(cycle).or_insert_with(|| (e.at, Vec::new()));
+                if !slot.1.contains(&subject) {
+                    slot.1.push(subject);
+                }
+            }
             EventKind::Join { target } => {
                 tick(&mut vcs, subject);
                 if track_vcs {
@@ -470,6 +524,14 @@ pub fn check_trace(trace: &Trace) -> CheckReport {
                 tick(&mut vcs, subject);
             }
         }
+    }
+
+    // Sentinel-detected waits-for cycles, reassembled from their per-member
+    // events; a trace with a detected deadlock is dirty by construction.
+    let mut detected: Vec<_> = cycles.into_iter().collect();
+    detected.sort_by_key(|&(id, _)| id);
+    for (_, (at, cycle)) in detected {
+        violations.push(Violation::Deadlock { cycle, at });
     }
 
     // Threads still blocked at end of trace: lost wakeups; refine with the
@@ -554,10 +616,20 @@ pub fn check_trace(trace: &Trace) -> CheckReport {
 }
 
 fn replay_recipe(trace: &Trace) -> Option<String> {
-    let seed = trace.meta.perturb_seed?;
+    let mut flags = Vec::new();
+    if let Some(seed) = trace.meta.perturb_seed {
+        flags.push(format!("--perturb-seed {seed}"));
+    }
+    if let Some(seed) = trace.meta.chaos_seed {
+        flags.push(format!("--chaos-seed {seed}"));
+    }
+    if flags.is_empty() {
+        return None;
+    }
     Some(format!(
-        "--sched {} --perturb-seed {seed}",
-        trace.meta.scheduler
+        "--sched {} {}",
+        trace.meta.scheduler,
+        flags.join(" ")
     ))
 }
 
@@ -770,6 +842,124 @@ mod tests {
             .violations
             .iter()
             .any(|v| matches!(v, Violation::WaitPastNotify { .. })));
+    }
+
+    #[test]
+    fn timeout_resolves_a_pending_block_without_notify() {
+        // A timed wait that expires produces Block → Timeout with no Notify
+        // anywhere; the checker must treat the deadline wake as sanctioned
+        // (no WakeWithoutNotify) and resolved (no LostWakeup).
+        let mut trace = Trace::default();
+        trace.events.push(event(
+            10,
+            1,
+            EventKind::Block {
+                reason: BlockReason::Mutex,
+                obj: Some(3),
+            },
+        ));
+        trace
+            .events
+            .push(event(60, 1, EventKind::Timeout { obj: Some(3) }));
+        let check = check_trace(&trace);
+        assert!(check.is_clean(), "{:?}", check.violations);
+        // A timeout of a thread that never blocked is still flagged.
+        let mut bad = Trace::default();
+        bad.events
+            .push(event(5, 2, EventKind::Timeout { obj: None }));
+        let check = check_trace(&bad);
+        assert!(check
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::SpuriousWake { thread: 2, .. })));
+    }
+
+    #[test]
+    fn deadlock_events_reassemble_into_a_cycle_violation() {
+        let mut trace = Trace::default();
+        for (member, next) in [(1u32, 2u32), (2, 3), (3, 1)] {
+            trace.events.push(event(
+                100,
+                member,
+                EventKind::Deadlock {
+                    cycle: 0,
+                    waits_for: next,
+                    obj: Some(member),
+                },
+            ));
+        }
+        let check = check_trace(&trace);
+        assert!(!check.is_clean());
+        let v = check
+            .violations
+            .iter()
+            .find_map(|v| match v {
+                Violation::Deadlock { cycle, .. } => Some(cycle.clone()),
+                _ => None,
+            })
+            .expect("deadlock violation");
+        assert_eq!(v, vec![1, 2, 3], "members in waits-for order");
+        let text = check.violations[0].to_string();
+        assert!(text.contains("t1 -> t2 -> t3 -> t1"), "{text}");
+    }
+
+    #[test]
+    fn real_deadlock_trace_checks_dirty_with_the_cycle() {
+        // Drive an actual 2-thread lock-order inversion and confirm the
+        // flight recorder + checker name the cycle end to end.
+        let result = std::panic::catch_unwind(|| {
+            run(Config::new(2, SchedKind::Df).with_trace(), || {
+                let a = crate::Mutex::new(());
+                let b = crate::Mutex::new(());
+                let (a2, b2) = (a.clone(), b.clone());
+                let t1 = spawn(move || {
+                    let _ga = a2.lock();
+                    crate::work(300_000);
+                    let _gb = b2.lock();
+                });
+                let (a3, b3) = (a.clone(), b.clone());
+                let t2 = spawn(move || {
+                    let _gb = b3.lock();
+                    crate::work(300_000);
+                    let _ga = a3.lock();
+                });
+                let _ = t1.try_join();
+                let _ = t2.try_join();
+            })
+        });
+        // The deadlock unwinds one spawned thread; try_join absorbs it, so
+        // the run completes and delivers the trace.
+        let (_, report) = result.expect("run completes after sentinel unwind");
+        assert_eq!(report.deadlocks().len(), 1, "one cycle recorded");
+        let mut members = report.deadlocks()[0].cycle.clone();
+        members.sort_unstable();
+        assert_eq!(members, vec![1, 2]);
+        let check = check_trace(&report.trace.unwrap());
+        assert!(
+            check
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::Deadlock { .. })),
+            "expected a Deadlock violation, got {:?}",
+            check.violations
+        );
+    }
+
+    #[test]
+    fn replay_recipe_includes_chaos_seed_when_armed() {
+        let cfg = Config::new(2, SchedKind::Ws)
+            .with_trace()
+            .with_perturbation(7)
+            .with_chaos(11);
+        let (_, report) = run(cfg, || {
+            let h = spawn(|| crate::work(1_000));
+            h.join();
+        });
+        let check = check_trace(&report.trace.unwrap());
+        assert_eq!(
+            check.replay.as_deref(),
+            Some("--sched ws --perturb-seed 7 --chaos-seed 11")
+        );
     }
 
     #[test]

@@ -109,6 +109,14 @@ pub struct Config {
     /// which is what lets the happens-before checker
     /// ([`crate::check_trace`]) turn a flagged run back into a repro.
     pub perturb_seed: Option<u64>,
+    /// Chaos-fault seed. `Some(seed)` arms seeded fault injection on top of
+    /// (and independent of) perturbation: lock-holder preemption storms at
+    /// sync boundaries, delayed wake delivery, and spurious condvar wakeups
+    /// (POSIX-sanctioned; `wait` may return without a notify, which is why
+    /// `wait_while` re-checks its predicate). All draws come from a
+    /// deterministic generator, so a `(policy, perturb seed, chaos seed)`
+    /// triple replays the exact same faulted schedule.
+    pub chaos_seed: Option<u64>,
     /// Arms the allocation ledger: per-thread attribution of every
     /// `rt_alloc`/`rt_free` (and TLS slot bytes), with a leak report on the
     /// run's [`crate::Report`]. Off by default — the ledger touches a hash
@@ -151,6 +159,7 @@ impl Config {
             trace: false,
             trace_alloc_threshold: 4096,
             perturb_seed: None,
+            chaos_seed: None,
             ledger: false,
             alloc_fail_rate: None,
             space_bound: None,
@@ -207,6 +216,13 @@ impl Config {
     /// [`Config::perturb_seed`].
     pub fn with_perturbation(mut self, seed: u64) -> Self {
         self.perturb_seed = Some(seed);
+        self
+    }
+
+    /// Arms seeded chaos-fault injection (builder style). See
+    /// [`Config::chaos_seed`].
+    pub fn with_chaos(mut self, seed: u64) -> Self {
+        self.chaos_seed = Some(seed);
         self
     }
 

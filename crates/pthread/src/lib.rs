@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 mod api;
+pub mod backoff;
 #[cfg(feature = "bench-internals")]
 pub mod bench_api;
 pub mod check;
@@ -60,6 +61,7 @@ mod report;
 mod runtime;
 mod rwlock;
 mod sched;
+mod sentinel;
 mod serial;
 mod sync;
 mod thread;
@@ -76,7 +78,10 @@ pub use mem::{
     rt_alloc, rt_free, try_rt_alloc, AllocError, LeakReport, ThreadLedger, TrackedBuf,
 };
 pub use report::Report;
-pub use runtime::run;
+pub use runtime::{run, try_run};
+pub use sentinel::{
+    DeadlockError, DeadlockInfo, RunError, StallInfo, StalledThread, TimedOut,
+};
 pub use serial::{run_serial, SerialReport};
 pub use rwlock::{ReadGuard, RwLock, WriteGuard};
 pub use sync::{Barrier, Condvar, Mutex, MutexGuard, Semaphore};

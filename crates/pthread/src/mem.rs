@@ -222,7 +222,11 @@ pub fn rt_alloc(bytes: u64) {
             let delta = bytes.div_ceil(k.max(1));
             {
                 let mut inner = rc.borrow_mut();
-                let (cur, p) = inner.cur.expect("rt_alloc outside a thread");
+                // Lenient on context: an allocating destructor during stall
+                // teardown has no current thread; skip the bookkeeping.
+                let Some((cur, p)) = inner.cur else {
+                    return;
+                };
                 if inner.trace.is_some() {
                     let at = inner.machine.clock(p);
                     let tr = inner.trace.as_mut().expect("checked");
@@ -241,7 +245,9 @@ pub fn rt_alloc(bytes: u64) {
 
     let over_quota = {
         let mut inner = rc.borrow_mut();
-        let (cur, p) = inner.cur.expect("rt_alloc outside a thread");
+        let Some((cur, p)) = inner.cur else {
+            return;
+        };
         inner.machine.alloc(p, bytes);
         if let Some(ledger) = inner.ledger.as_mut() {
             ledger.charge_alloc(cur.0, bytes);

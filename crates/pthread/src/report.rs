@@ -30,6 +30,16 @@ pub struct Report {
     /// [`Config::with_ledger`] (or failure injection, which implies it).
     #[serde(skip_serializing_if = "Option::is_none")]
     pub leaks: Option<crate::mem::LeakReport>,
+    /// Waits-for cycles detected by the deadlock sentinel, in detection
+    /// order. Each is also a `Deadlock` flight-recorder event (when tracing)
+    /// and an unwound [`crate::DeadlockError`] in the detecting thread.
+    #[serde(skip_serializing_if = "Vec::is_empty")]
+    pub deadlocks: Vec<crate::sentinel::DeadlockInfo>,
+    /// The virtual-time watchdog's verdict, when the run stalled (all
+    /// processors idle with live threads). Only [`crate::try_run`] can
+    /// return a report with this set — [`crate::run`] panics on a stall.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub stalled: Option<crate::sentinel::StallInfo>,
 }
 
 impl Report {
@@ -40,6 +50,7 @@ impl Report {
         steals: u64,
         trace: Option<crate::trace::Trace>,
         leaks: Option<crate::mem::LeakReport>,
+        deadlocks: Vec<crate::sentinel::DeadlockInfo>,
     ) -> Self {
         Report {
             scheduler: config.scheduler.name().to_string(),
@@ -51,6 +62,8 @@ impl Report {
             stats,
             trace,
             leaks,
+            deadlocks,
+            stalled: None,
         }
     }
 
@@ -102,5 +115,17 @@ impl Report {
     /// ([`Config::with_space_bound`]); `0` when unarmed or within bound.
     pub fn bound_violations(&self) -> u64 {
         self.stats.mem.bound_violations
+    }
+
+    /// Waits-for cycles detected by the deadlock sentinel (empty when the
+    /// run was cycle-free).
+    pub fn deadlocks(&self) -> &[crate::sentinel::DeadlockInfo] {
+        &self.deadlocks
+    }
+
+    /// The watchdog's stall verdict, if the run halted without completing
+    /// (see [`crate::try_run`]).
+    pub fn stalled(&self) -> Option<&crate::sentinel::StallInfo> {
+        self.stalled.as_ref()
     }
 }

@@ -9,6 +9,7 @@
 //! holds: a processor never consumes an event from its own future.
 
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 
@@ -19,7 +20,10 @@ use crate::config::{Attr, Config, SchedKind};
 use crate::mem::Ledger;
 use crate::report::Report;
 use crate::sched::{make_policy, Policy, Pop};
-use crate::thread::{Fiber, JoinError, JoinHandle, Kind, Slot, TState, Tcb, ThreadId, YieldReason};
+use crate::sentinel::{DeadlockError, DeadlockInfo, RunError, StallInfo, StalledThread};
+use crate::thread::{
+    Fiber, JoinError, JoinHandle, Kind, Slot, TState, Tcb, ThreadId, Wait, YieldReason,
+};
 use crate::trace::{BlockReason, EventKind, Trace, TraceMeta};
 
 /// A TLS-destructor hook: called with an exiting thread's id, it drops the
@@ -68,6 +72,17 @@ pub(crate) struct Inner {
     /// Next per-run sync-object id (assigned lazily at an object's first
     /// engine interaction, so ids are dense and engine-order deterministic).
     next_sync_id: u32,
+    /// Waits-for cycles detected so far (delivered via [`Report::deadlocks`]).
+    pub deadlocks: Vec<DeadlockInfo>,
+    /// Current holders of each *contended* sync object, published by the
+    /// primitives at block/handoff time only — the uncontended fast path
+    /// never touches this map, keeping sentinel bookkeeping off the hot
+    /// path. An entry exists exactly while the object has queued waiters.
+    holders: HashMap<u32, Vec<ThreadId>>,
+    /// Chaos fault-injection stream, when armed ([`Config::with_chaos`]):
+    /// lock-holder preemption storms, delayed wake delivery and spurious
+    /// condvar wakeups all draw from this generator.
+    pub chaos: Option<Prng>,
 }
 
 /// What kind of execution context the calling code is inside.
@@ -147,6 +162,7 @@ impl Inner {
                     )
                     .then_some(config.quota),
                     perturb_seed: config.perturb_seed,
+                    chaos_seed: config.chaos_seed,
                 })
             }),
             // Distinct stream from the machine-level jitter generator: the
@@ -162,6 +178,13 @@ impl Inner {
             tls_cleaners: Vec::new(),
             run_token: RUN_TOKEN.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             next_sync_id: 0,
+            deadlocks: Vec::new(),
+            holders: HashMap::new(),
+            // Distinct stream from both perturbation generators, for the
+            // same decorrelation reason.
+            chaos: config
+                .chaos_seed
+                .map(|s| Prng::new(s ^ 0xC4A0_5F00_D5EE_D001)),
         }
     }
 
@@ -287,7 +310,11 @@ impl Inner {
         if self.trace.is_none() {
             return;
         }
-        let (tid, p) = self.cur.expect("sync op outside a thread");
+        // Lenient on context: stall-teardown destructors release primitives
+        // with no current thread; their bookkeeping is best-effort.
+        let Some((tid, p)) = self.cur else {
+            return;
+        };
         let now = self.machine.clock(p);
         let tr = self.trace.as_mut().expect("checked");
         tr.event(
@@ -382,16 +409,28 @@ impl Inner {
             self.threads[t.index()].state,
             TState::Blocked | TState::Created
         ));
-        let now = self
+        let mut now = self
             .machine
             .clock(p)
             .max(self.threads[t.index()].blocked_at);
+        // Chaos fault: delayed wake delivery — the wake is published up to
+        // 2 µs later than the primitive issued it, exactly like an IPI that
+        // sat in a pending-interrupt register. Still causally sound (never
+        // earlier than the suspension).
+        if let Some(chaos) = self.chaos.as_mut() {
+            now = VirtTime::from_ns(now.as_ns() + chaos.below(2_001));
+        }
         let (prio, affinity) = {
             let tcb = &self.threads[t.index()];
             (tcb.attr.priority, tcb.last_proc)
         };
         self.threads[t.index()].state = TState::Ready;
         self.threads[t.index()].ready_since = now;
+        // The wake supersedes any waits-for edge or armed deadline (the
+        // stale heap entry is discarded lazily; `timed_out` is untouched —
+        // only a real deadline firing sets it).
+        self.threads[t.index()].wait = None;
+        self.threads[t.index()].deadline = None;
         let waker = self.cur.map(|(w, _)| w.0);
         if let Some(tr) = self.trace.as_mut() {
             tr.event(now, p, Some(t.0), EventKind::Wake { waker });
@@ -403,18 +442,190 @@ impl Inner {
 
     /// Registers the current thread as blocked (caller must already have
     /// put it on some wait queue) — to be followed by a `Blocked` suspend.
-    pub fn block_current(&mut self, reason: BlockReason, obj: Option<u32>) -> (ThreadId, ProcId) {
+    /// `target` is the join target when the wait is on a thread's exit;
+    /// together with `obj` it forms the thread's waits-for edge.
+    pub fn block_current(
+        &mut self,
+        reason: BlockReason,
+        obj: Option<u32>,
+        target: Option<ThreadId>,
+    ) -> (ThreadId, ProcId) {
         let (tid, p) = self.cur.expect("block outside a thread");
         let now = self.machine.clock(p);
         let t = &mut self.threads[tid.index()];
         t.state = TState::Blocked;
         t.blocked_at = now;
+        t.wait = Some(Wait {
+            reason,
+            obj,
+            target,
+        });
         if let Some(tr) = self.trace.as_mut() {
             tr.event(now, p, Some(tid.0), EventKind::Block { reason, obj });
         }
         self.policy.on_block(tid);
         self.sched_op(p);
         (tid, p)
+    }
+
+    /// Arms a timed wait for the current thread: call between
+    /// [`Inner::block_current`] and the `Blocked` suspend. Returns the
+    /// armed absolute deadline.
+    pub fn arm_timed_wait(&mut self, timeout: VirtTime) -> VirtTime {
+        let (tid, p) = self.cur.expect("timed wait outside a thread");
+        let now = self.machine.clock(p);
+        let deadline = VirtTime::from_ns(now.as_ns().saturating_add(timeout.as_ns()));
+        self.threads[tid.index()].deadline = Some(deadline);
+        self.machine.arm_deadline(p, deadline, u64::from(tid.0));
+        deadline
+    }
+
+    /// Consumes the current thread's timeout flag: `true` exactly when its
+    /// last wake came from the deadline heap rather than the primitive.
+    pub fn consume_timeout(&mut self) -> bool {
+        match self.cur {
+            Some((tid, _)) => std::mem::take(&mut self.threads[tid.index()].timed_out),
+            None => false,
+        }
+    }
+
+    /// Whether `t` is currently blocked (false for the out-of-bounds
+    /// outside-a-runtime sentinel id). Wake paths use this to skip waiters
+    /// that a timeout already woke.
+    pub fn thread_is_blocked(&self, t: ThreadId) -> bool {
+        self.threads
+            .get(t.index())
+            .is_some_and(|tcb| tcb.state == TState::Blocked)
+    }
+
+    /// Publishes the holder set of a contended sync object (or retires the
+    /// entry when `holders` is empty). Primitives call this only on their
+    /// contended paths, so the map stays off the uncontended hot path.
+    pub fn note_holders(&mut self, obj: u32, holders: Vec<ThreadId>) {
+        if holders.is_empty() {
+            self.holders.remove(&obj);
+        } else {
+            self.holders.insert(obj, holders);
+        }
+    }
+
+    /// Walks the waits-for graph from a prospective edge — `me` about to
+    /// block on `obj` (follow its published holders) or on thread `target`
+    /// (join) — and returns the cycle if one would close. Called *before*
+    /// the thread enqueues, so a detected deadlock leaves every queue
+    /// untouched and the caller can unwind instead of blocking.
+    pub fn check_for_cycle(
+        &mut self,
+        me: ThreadId,
+        obj: Option<u32>,
+        target: Option<ThreadId>,
+    ) -> Option<DeadlockInfo> {
+        fn successors(holders: &HashMap<u32, Vec<ThreadId>>, w: &Wait) -> Vec<ThreadId> {
+            if let Some(t) = w.target {
+                return vec![t];
+            }
+            match (w.reason, w.obj) {
+                // Only ownership waits have a well-defined "who must act"
+                // edge; condvar/semaphore/barrier waits can be satisfied by
+                // anyone and get no outgoing edge (no false positives).
+                (BlockReason::Mutex | BlockReason::RwRead | BlockReason::RwWrite, Some(o)) => {
+                    holders.get(&o).cloned().unwrap_or_default()
+                }
+                _ => Vec::new(),
+            }
+        }
+        fn walk(
+            threads: &[Tcb],
+            holders: &HashMap<u32, Vec<ThreadId>>,
+            me: ThreadId,
+            t: ThreadId,
+            path: &mut Vec<(ThreadId, Option<u32>)>,
+            seen: &mut std::collections::HashSet<ThreadId>,
+        ) -> bool {
+            if t == me {
+                return true;
+            }
+            if !seen.insert(t) {
+                return false;
+            }
+            // Out-of-bounds ids (the outside-a-runtime owner sentinel) and
+            // runnable threads have no outgoing edge.
+            let Some(tcb) = threads.get(t.index()) else {
+                return false;
+            };
+            if tcb.state != TState::Blocked {
+                return false;
+            }
+            // A deadline-bounded wait cannot sustain a deadlock: the engine
+            // will wake it at its deadline, breaking any cycle through it.
+            if tcb.deadline.is_some() {
+                return false;
+            }
+            let Some(w) = tcb.wait else {
+                return false;
+            };
+            path.push((t, w.obj));
+            for s in successors(holders, &w) {
+                if walk(threads, holders, me, s, path, seen) {
+                    return true;
+                }
+            }
+            path.pop();
+            false
+        }
+        let first = successors(
+            &self.holders,
+            &Wait {
+                reason: obj.map_or(BlockReason::Join, |_| BlockReason::Mutex),
+                obj,
+                target,
+            },
+        );
+        if first.is_empty() {
+            return None;
+        }
+        let mut path = vec![(me, obj)];
+        let mut seen = std::collections::HashSet::new();
+        for s in first {
+            if walk(&self.threads, &self.holders, me, s, &mut path, &mut seen) {
+                let at = match self.cur {
+                    Some((_, p)) => self.machine.clock(p),
+                    None => VirtTime::ZERO,
+                };
+                return Some(DeadlockInfo {
+                    cycle: path.iter().map(|(t, _)| t.0).collect(),
+                    objs: path.iter().map(|(_, o)| *o).collect(),
+                    at,
+                });
+            }
+        }
+        None
+    }
+
+    /// Records a detected cycle: appends it to the report list and emits one
+    /// `Deadlock` flight-recorder event per member (all sharing the cycle's
+    /// index), naming who each member waits for and through which object.
+    pub fn record_deadlock(&mut self, info: &DeadlockInfo) {
+        let idx = self.deadlocks.len() as u32;
+        if let (Some(tr), Some((_, p))) = (self.trace.as_mut(), self.cur) {
+            let now = self.machine.clock(p);
+            let n = info.cycle.len();
+            for i in 0..n {
+                let (member, waits_for, obj) =
+                    (info.cycle[i], info.cycle[(i + 1) % n], info.objs[i]);
+                tr.event(
+                    now,
+                    p,
+                    Some(member),
+                    EventKind::Deadlock {
+                        cycle: idx,
+                        waits_for,
+                        obj,
+                    },
+                );
+            }
+        }
+        self.deadlocks.push(info.clone());
     }
 
     fn dispatch_prologue(&mut self, tid: ThreadId, p: ProcId) {
@@ -546,8 +757,119 @@ impl Inner {
         }
         self.live -= 1;
         if let Some(j) = joiner {
-            self.make_ready(j, p);
+            // A `join_timeout` joiner may already have been timeout-woken
+            // (Ready, not Blocked); waking it again would double-queue it.
+            if self.threads[j.index()].state == TState::Blocked {
+                self.make_ready(j, p);
+            }
         }
+    }
+
+    /// True when `t`'s armed deadline is exactly `at` and it is still
+    /// blocked — i.e. the heap entry is live, not a leftover from a wait
+    /// that was satisfied normally.
+    fn deadline_live(&self, t: ThreadId, at: VirtTime) -> bool {
+        let tcb = &self.threads[t.index()];
+        tcb.state == TState::Blocked && tcb.deadline == Some(at)
+    }
+
+    /// Earliest live deadline armed on `p`, discarding stale heap entries.
+    fn next_live_deadline(&mut self, p: ProcId) -> Option<VirtTime> {
+        while let Some((at, token)) = self.machine.peek_deadline(p) {
+            if self.deadline_live(ThreadId(token as u32), at) {
+                return Some(at);
+            }
+            self.machine.pop_deadline(p);
+        }
+        None
+    }
+
+    /// Earliest live deadline on *any* processor's heap (parked ones
+    /// included — their entries fire once the active processors' clocks
+    /// pass them).
+    fn next_live_deadline_any(&mut self) -> Option<VirtTime> {
+        (0..self.parked.len())
+            .filter_map(|q| self.next_live_deadline(q))
+            .min()
+    }
+
+    /// Minimum clock among the non-parked processors *other than* `p` —
+    /// the earliest virtual time at which anyone else could still publish
+    /// a wake. `None` when `p` is the only active processor (then nobody
+    /// can, and `p` may advance freely). Parked processors are excluded
+    /// because [`Inner::unpark`] idles them forward to the publication
+    /// that revives them: they can never act before an active processor's
+    /// present.
+    fn causal_horizon(&self, p: ProcId) -> Option<VirtTime> {
+        (0..self.parked.len())
+            .filter(|&q| q != p && !self.parked[q])
+            .map(|q| self.machine.clock(q))
+            .min()
+    }
+
+    /// The latest virtual time up to which the wake-vs-timeout race is
+    /// already decided, seen from `p`: the global minimum clock over the
+    /// non-parked processors. Every future wake is timestamped at its
+    /// publisher's (monotone) clock, so no wake earlier than this floor
+    /// can appear — deadlines at or before it may fire as timeouts.
+    fn wake_floor(&self, p: ProcId) -> VirtTime {
+        let me = self.machine.clock(p);
+        match self.causal_horizon(p) {
+            Some(h) => me.min(h),
+            None => me,
+        }
+    }
+
+    /// Fires every live deadline — on any processor's heap — due at or
+    /// before `floor` (the caller's [`Inner::wake_floor`]). Firing is
+    /// deferred, never early: a deadline beyond the floor stays armed so a
+    /// slower processor can still win the race with a virtually-earlier
+    /// wake. Returns whether any fired.
+    fn fire_due_timeouts(&mut self, floor: VirtTime) -> bool {
+        let mut fired = false;
+        for q in 0..self.parked.len() {
+            while let Some((at, token)) = self.machine.peek_deadline(q) {
+                let t = ThreadId(token as u32);
+                if !self.deadline_live(t, at) {
+                    self.machine.pop_deadline(q);
+                    continue;
+                }
+                if at > floor {
+                    break;
+                }
+                self.machine.pop_deadline(q);
+                self.timeout_wake(t, q, at);
+                fired = true;
+            }
+        }
+        fired
+    }
+
+    /// [`Inner::make_ready`]'s timeout twin: wakes `t` because its armed
+    /// deadline (`at`) fired, not because the primitive handed over. Emits
+    /// a `Timeout` event instead of a `Wake`, so the happens-before checker
+    /// knows no notify sanctioned this wake, and sets `timed_out` for the
+    /// timed API to consume on resume. Timestamped at the deadline itself
+    /// (clamped by the block), however late in engine order the firing is.
+    fn timeout_wake(&mut self, t: ThreadId, p: ProcId, at: VirtTime) {
+        debug_assert_eq!(self.threads[t.index()].state, TState::Blocked);
+        let now = at.max(self.threads[t.index()].blocked_at);
+        let (prio, affinity, obj) = {
+            let tcb = &mut self.threads[t.index()];
+            tcb.state = TState::Ready;
+            tcb.ready_since = now;
+            tcb.timed_out = true;
+            tcb.deadline = None;
+            let obj = tcb.wait.and_then(|w| w.obj);
+            tcb.wait = None;
+            (tcb.attr.priority, tcb.last_proc, obj)
+        };
+        if let Some(tr) = self.trace.as_mut() {
+            tr.event(now, p, Some(t.0), EventKind::Timeout { obj });
+        }
+        self.sched_op(p);
+        self.policy.on_ready(t, prio, now, p, affinity);
+        self.unpark(now);
     }
 
     /// Minimum-clock runnable processor, or `None` when all are parked.
@@ -561,23 +883,30 @@ impl Inner {
         Some(self.perturb_tie_break(best, |inner, r| !inner.parked[r]))
     }
 
-    fn deadlock_dump(&self) -> String {
-        let mut s = format!(
-            "deadlock: all processors idle with {} live threads \
-             (policy {:?}, {} ready entries):\n",
-            self.live,
-            self.policy.kind(),
-            self.policy.ready_len()
-        );
-        for (i, t) in self.threads.iter().enumerate() {
-            if t.state != TState::Exited {
-                s.push_str(&format!(
-                    "  t{i}: {:?} kind={:?} joiner={:?}\n",
-                    t.state, t.kind, t.joiner
-                ));
-            }
+    /// The watchdog's verdict when all processors are idle with live
+    /// threads: who is alive, what each waits on, and since when.
+    fn stall_info(&self) -> StallInfo {
+        let at = (0..self.parked.len())
+            .map(|q| self.machine.clock(q))
+            .max()
+            .unwrap_or(VirtTime::ZERO);
+        let threads = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.state != TState::Exited)
+            .map(|(i, t)| StalledThread {
+                thread: i as u32,
+                reason: t.wait.map(|w| w.reason),
+                obj: t.wait.and_then(|w| w.obj),
+                since: t.blocked_at,
+            })
+            .collect();
+        StallInfo {
+            at,
+            scheduler: self.policy.kind().name().to_string(),
+            threads,
         }
-        s
     }
 }
 
@@ -590,8 +919,32 @@ impl Inner {
 ///
 /// # Panics
 /// Propagates a panic of the root thread. Panics in spawned threads are
-/// delivered at their `join`.
+/// delivered at their `join`. Panics with the watchdog's [`RunError`] when
+/// the run stalls (all processors idle with live threads) — use
+/// [`try_run`] to receive the stall verdict as a value instead.
 pub fn run<T: 'static>(config: Config, f: impl FnOnce() -> T + 'static) -> (T, Report) {
+    match try_run(config, f) {
+        Ok(v) => v,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Like [`run`], but a stalled run — all processors idle while threads are
+/// still alive (lost wakeup, partial deadlock, abandoned barrier) — returns
+/// the watchdog's [`RunError`] verdict instead of panicking. The verdict
+/// names every live thread, what it waits on, and since when; the partial
+/// [`Report`] (including any detected waits-for cycles) rides along.
+///
+/// On a stall the surviving threads are force-unwound: their destructors
+/// run (locks release, TLS values drop), but their closure results are
+/// discarded.
+///
+/// # Panics
+/// Propagates a panic of the root thread, like [`run`].
+pub fn try_run<T: 'static>(
+    config: Config,
+    f: impl FnOnce() -> T + 'static,
+) -> Result<(T, Report), RunError> {
     let inner_rc = Rc::new(RefCell::new(Inner::new(&config)));
     let slot: Slot<T> = Rc::new(RefCell::new(None));
     let guard = install(ActiveCtx::Par(inner_rc.clone()));
@@ -603,7 +956,25 @@ pub fn run<T: 'static>(config: Config, f: impl FnOnce() -> T + 'static) -> (T, R
         let _ = inner.create_thread(None, 0, Attr::default(), Some(fiber), Kind::Root);
     }
 
-    engine_loop(&inner_rc);
+    let stalled = engine_loop(&inner_rc);
+    if stalled.is_some() {
+        // Tear down the surviving fibers while the runtime context is still
+        // installed: each drop force-unwinds its fiber so destructors (lock
+        // guards, TLS values) run. The bookkeeping hooks they reach are
+        // lenient about `cur == None` and no-op during this sweep. The
+        // fibers are collected under one borrow and dropped outside it, so
+        // destructor code may re-borrow the runtime.
+        let fibers: Vec<Fiber> = {
+            let mut inner = inner_rc.borrow_mut();
+            inner.cur = None;
+            inner
+                .threads
+                .iter_mut()
+                .filter_map(|t| t.fiber.take())
+                .collect()
+        };
+        drop(fibers);
+    }
     drop(guard);
 
     let mut inner = inner_rc.borrow_mut();
@@ -641,13 +1012,25 @@ pub fn run<T: 'static>(config: Config, f: impl FnOnce() -> T + 'static) -> (T, R
         .ledger
         .take()
         .map(|l| l.report(stats.mem.free_underflows));
+    let deadlocks = std::mem::take(&mut inner.deadlocks);
     drop(inner);
-    let value = slot
-        .borrow_mut()
-        .take()
-        .expect("root thread completed without a value");
-    let report = Report::new(&config, stats, peak, steals, trace, leaks);
-    (value, report)
+    let mut report = Report::new(&config, stats, peak, steals, trace, leaks, deadlocks);
+    match stalled {
+        None => {
+            let value = slot
+                .borrow_mut()
+                .take()
+                .expect("root thread completed without a value");
+            Ok((value, report))
+        }
+        Some(stall) => {
+            report.stalled = Some(stall.clone());
+            Err(RunError {
+                stall,
+                report: Box::new(report),
+            })
+        }
+    }
 }
 
 /// Builds the fiber for a thread body: registers its yielder, runs the body,
@@ -798,17 +1181,61 @@ pub(crate) fn maybe_perturb_yield(rc: &Rc<RefCell<Inner>>) {
     }
 }
 
-fn engine_loop(inner_rc: &Rc<RefCell<Inner>>) {
+/// Under chaos ([`Config::with_chaos`]), preempts the current thread at a
+/// sync-operation boundary with probability 1/4 — a lock-holder preemption
+/// storm, since sync operations are exactly where threads hold locks. Reuses
+/// the same Running-state guard as [`maybe_perturb_yield`]: a thread already
+/// registered on a wait queue must not also be requeued as ready.
+pub(crate) fn maybe_chaos_yield(rc: &Rc<RefCell<Inner>>) {
+    let should = {
+        let mut inner = rc.borrow_mut();
+        let Some((tid, p)) = inner.cur else {
+            return;
+        };
+        if inner.threads[tid.index()].state != TState::Running(p) {
+            return;
+        }
+        match inner.chaos.as_mut() {
+            Some(prng) => prng.chance(1, 4),
+            None => return,
+        }
+    };
+    if should {
+        suspend_current(rc, YieldReason::Yielded);
+    }
+}
+
+fn engine_loop(inner_rc: &Rc<RefCell<Inner>>) -> Option<StallInfo> {
     loop {
         let mut inner = inner_rc.borrow_mut();
         if inner.live == 0 {
-            return;
+            return None;
         }
         let Some(p) = inner.pick_proc() else {
-            let dump = inner.deadlock_dump();
-            drop(inner);
-            panic!("{dump}");
+            // All processors parked. A live timed wait still guarantees
+            // progress: advance the earliest-deadline processor to its
+            // deadline and fire it — with everyone parked no wake can
+            // materialize, so the race is decided. With no deadline armed
+            // the run is stalled: hand the watchdog's verdict up instead
+            // of panicking here.
+            let due = (0..inner.parked.len())
+                .filter_map(|q| inner.next_live_deadline(q).map(|d| (d, q)))
+                .min();
+            match due {
+                Some((d, q)) => {
+                    inner.parked[q] = false;
+                    inner.machine.idle_until(q, d);
+                    inner.fire_due_timeouts(d);
+                    continue;
+                }
+                None => return Some(inner.stall_info()),
+            }
         };
+        // Deliver every timed wait whose deadline the whole machine has
+        // passed, before this processor picks new work. `p` holds the
+        // minimum clock right now, so the floor is its own clock.
+        let floor = inner.wake_floor(p);
+        inner.fire_due_timeouts(floor);
         let (tid, ts_resume) = if let Some((child, resume)) = inner.handoff[p].take() {
             (child, resume)
         } else {
@@ -841,10 +1268,56 @@ fn engine_loop(inner_rc: &Rc<RefCell<Inner>>) {
                     (tid, false)
                 }
                 Pop::NotYet(t) => {
-                    inner.machine.idle_until(p, t);
+                    // Idle only as far as the nearest *decidable* armed
+                    // deadline, so a timed wait fires on schedule even when
+                    // the next ready entry lies beyond it. A deadline past
+                    // the causal horizon (another processor still trails
+                    // it) must not short-stop the idle: that processor may
+                    // yet publish the earlier wake, and the post-idle
+                    // firing floor defers the timeout either way.
+                    let mut until = t;
+                    if let Some(d) = inner.next_live_deadline_any() {
+                        let decidable =
+                            inner.causal_horizon(p).is_none_or(|h| d <= h);
+                        if decidable && d < until {
+                            until = d;
+                        }
+                    }
+                    inner.machine.idle_until(p, until);
+                    let floor = inner.wake_floor(p);
+                    inner.fire_due_timeouts(floor);
                     continue;
                 }
                 Pop::Empty => {
+                    // An idle processor is what keeps timed waits honest:
+                    // it advances to the earliest armed deadline — but only
+                    // as fast as the slowest active processor (the causal
+                    // horizon), so a wake published from virtually behind
+                    // the deadline still wins the race. At the horizon with
+                    // the deadline still ahead, park: either a wake revives
+                    // this processor, or everyone ends up parked and the
+                    // all-parked arm above fires the deadline.
+                    if let Some(d) = inner.next_live_deadline_any() {
+                        let now = inner.machine.clock(p);
+                        match inner.causal_horizon(p) {
+                            None => {
+                                inner.machine.idle_until(p, d);
+                                inner.fire_due_timeouts(d);
+                                continue;
+                            }
+                            Some(h) if d <= h => {
+                                inner.machine.idle_until(p, d);
+                                let floor = inner.wake_floor(p);
+                                inner.fire_due_timeouts(floor);
+                                continue;
+                            }
+                            Some(h) if h > now => {
+                                inner.machine.idle_until(p, h);
+                                continue;
+                            }
+                            Some(_) => {} // at the horizon already: park
+                        }
+                    }
                     inner.parked[p] = true;
                     continue;
                 }
@@ -940,7 +1413,10 @@ pub(crate) fn join_wait(target: ThreadId) -> Option<Box<dyn std::any::Any + Send
     });
     loop {
         let mut inner = rc.borrow_mut();
-        let (cur, p) = inner.cur.expect("join outside a thread");
+        // Lenient on context: a scope guard unwinding during stall teardown
+        // joins children that will never run; report "no value" upstream
+        // instead of tearing the process down with a nested panic.
+        let (cur, p) = inner.cur?;
         let t = target.index();
         if inner.threads[t].state == TState::Exited {
             // Happens-before: join cannot return before the child's virtual
@@ -970,9 +1446,105 @@ pub(crate) fn join_wait(target: ThreadId) -> Option<Box<dyn std::any::Any + Send
             inner.threads[t].joiner.is_none(),
             "two threads joining {target}"
         );
+        // A join edge can close a waits-for cycle just like a lock edge
+        // (t1 joins t2 while t2 blocks on a mutex t1 holds). Check before
+        // registering as joiner, and unwind instead of blocking forever.
+        if let Some(info) = inner.check_for_cycle(cur, None, Some(target)) {
+            inner.record_deadlock(&info);
+            drop(inner);
+            std::panic::panic_any(DeadlockError { info });
+        }
         inner.threads[t].joiner = Some(cur);
-        inner.block_current(BlockReason::Join, None);
+        inner.block_current(BlockReason::Join, None, Some(target));
         drop(inner);
         suspend_current(&rc, YieldReason::Blocked);
+    }
+}
+
+/// Implementation of [`JoinHandle::join_timeout`]: waits at most `timeout`
+/// of virtual time, returning the handle back on expiry.
+pub(crate) fn join_timeout_impl<T>(
+    h: JoinHandle<T>,
+    timeout: VirtTime,
+) -> Result<T, JoinHandle<T>> {
+    if !h.inline {
+        match join_wait_timeout(h.id, timeout) {
+            Ok(Some(payload)) => resume_unwind(payload),
+            Ok(None) => {}
+            Err(crate::TimedOut) => return Err(h),
+        }
+    }
+    match h.slot.borrow_mut().take() {
+        Some(v) => Ok(v),
+        None => panic!("{}", JoinError::NoValue),
+    }
+}
+
+/// Timed flavour of [`join_wait`]: `Err(TimedOut)` when `target` has not
+/// (virtually) exited within `timeout`; otherwise the target's panic
+/// payload, like `join_wait`.
+fn join_wait_timeout(
+    target: ThreadId,
+    timeout: VirtTime,
+) -> Result<Option<Box<dyn std::any::Any + Send>>, crate::TimedOut> {
+    let rc = with_active(|ctx| match ctx {
+        Some(ActiveCtx::Par(rc)) => rc.clone(),
+        _ => panic!("join on a runtime thread outside the runtime"),
+    });
+    let mut deadline: Option<VirtTime> = None;
+    loop {
+        let mut inner = rc.borrow_mut();
+        let Some((cur, p)) = inner.cur else {
+            return Ok(None);
+        };
+        let now = inner.machine.clock(p);
+        let deadline =
+            *deadline.get_or_insert(VirtTime::from_ns(now.as_ns().saturating_add(timeout.as_ns())));
+        let t = target.index();
+        if inner.threads[t].state == TState::Exited {
+            let exit_time = inner.threads[t].exit_time;
+            if exit_time > deadline {
+                // The child's virtual exit lies beyond our budget: sleep to
+                // the deadline (greedily, like `JoinWake`) and report the
+                // timeout at exactly the promised virtual instant.
+                drop(inner);
+                suspend_current(&rc, YieldReason::JoinWake { at: deadline });
+                return Err(crate::TimedOut);
+            }
+            if now < exit_time {
+                drop(inner);
+                suspend_current(&rc, YieldReason::JoinWake { at: exit_time });
+                continue;
+            }
+            let c = inner.machine.cost().join_exited;
+            inner.machine.thread_op(p, c);
+            if inner.trace.is_some() {
+                let at = inner.machine.clock(p);
+                let tr = inner.trace.as_mut().expect("checked");
+                tr.event(at, p, Some(cur.0), EventKind::Join { target: target.0 });
+            }
+            let payload = inner.threads[t].panic.take();
+            drop(inner);
+            return Ok(payload);
+        }
+        assert!(
+            inner.threads[t].joiner.is_none(),
+            "two threads joining {target}"
+        );
+        inner.threads[t].joiner = Some(cur);
+        inner.block_current(BlockReason::Join, None, Some(target));
+        inner.arm_timed_wait(VirtTime::from_ns(deadline.as_ns().saturating_sub(now.as_ns())));
+        drop(inner);
+        suspend_current(&rc, YieldReason::Blocked);
+        let mut inner = rc.borrow_mut();
+        if inner.consume_timeout() {
+            // Withdraw the joiner registration (the target may have exited
+            // concurrently and already taken it — that's fine, the next
+            // join attempt will observe the exit).
+            if inner.threads[t].joiner == Some(cur) {
+                inner.threads[t].joiner = None;
+            }
+            return Err(crate::TimedOut);
+        }
     }
 }

@@ -24,7 +24,23 @@ struct RwState {
     /// Active readers (writer active is represented by `writer`).
     readers: Cell<usize>,
     writer: Cell<bool>,
+    /// Identity of the active writer / readers, for the deadlock sentinel's
+    /// waits-for graph. Best-effort: acquisitions outside a runtime (no
+    /// thread id) are counted in `readers`/`writer` but not recorded here.
+    writer_id: Cell<Option<ThreadId>>,
+    reader_ids: RefCell<Vec<ThreadId>>,
     waiters: RefCell<VecDeque<Waiter>>,
+}
+
+impl RwState {
+    /// Current holder snapshot: the writer, or the reader set.
+    fn holders(&self) -> Vec<ThreadId> {
+        if self.writer.get() {
+            self.writer_id.get().into_iter().collect()
+        } else {
+            self.reader_ids.borrow().clone()
+        }
+    }
 }
 
 struct RwInner<T> {
@@ -60,12 +76,22 @@ fn charge_op() {
     if let Some(rc) = par_ctx() {
         {
             let mut inner = rc.borrow_mut();
-            let (_, p) = inner.cur.expect("rwlock op outside a thread");
+            // Lenient on context: stall-teardown destructors (guard drops)
+            // release the lock with no current thread.
+            let Some((_, p)) = inner.cur else {
+                return;
+            };
             let c = inner.machine.cost().sync_op;
             inner.machine.sync_op(p, c);
         }
         crate::runtime::maybe_timeslice(&rc);
+        crate::runtime::maybe_chaos_yield(&rc);
     }
+}
+
+/// The calling thread's id, when inside a runtime thread.
+fn me() -> Option<ThreadId> {
+    crate::api::current_thread()
 }
 
 impl<T> RwLock<T> {
@@ -77,6 +103,8 @@ impl<T> RwLock<T> {
                     id: Cell::new(None),
                     readers: Cell::new(0),
                     writer: Cell::new(false),
+                    writer_id: Cell::new(None),
+                    reader_ids: RefCell::new(Vec::new()),
                     waiters: RefCell::new(VecDeque::new()),
                 },
                 value: UnsafeCell::new(value),
@@ -96,15 +124,31 @@ impl<T> RwLock<T> {
             .any(|w| matches!(w, Waiter::Writer(_)));
         if !st.writer.get() && !writer_queued {
             st.readers.set(st.readers.get() + 1);
+            if let Some(me) = me() {
+                st.reader_ids.borrow_mut().push(me);
+            }
             return ReadGuard { lock: self };
         }
         let rc = par_ctx().expect("contended rwlock outside a runtime would deadlock");
         let me = crate::api::current_thread().expect("read outside a thread");
-        st.waiters.borrow_mut().push_back(Waiter::Reader(me));
         {
             let mut inner = rc.borrow_mut();
             let obj = inner.sync_id_for(&st.id);
-            inner.block_current(crate::trace::BlockReason::RwRead, Some(obj));
+            // Publish the live holders and probe the prospective waits-for
+            // edge before enqueueing (see Mutex::lock). The edge points at
+            // the *actual* holders, skipping any queued writer: a blocked
+            // reader transitively waits on whatever the writer waits on.
+            inner.note_holders(obj, st.holders());
+            if let Some(info) = inner.check_for_cycle(me, Some(obj), None) {
+                inner.record_deadlock(&info);
+                if st.waiters.borrow().is_empty() {
+                    inner.note_holders(obj, Vec::new());
+                }
+                drop(inner);
+                std::panic::panic_any(crate::DeadlockError { info });
+            }
+            st.waiters.borrow_mut().push_back(Waiter::Reader(me));
+            inner.block_current(crate::trace::BlockReason::RwRead, Some(obj), None);
         }
         suspend_current(&rc, YieldReason::Blocked);
         // Woken by release(): reader count already incremented on our behalf.
@@ -118,15 +162,25 @@ impl<T> RwLock<T> {
         let st = &self.inner.state;
         if !st.writer.get() && st.readers.get() == 0 {
             st.writer.set(true);
+            st.writer_id.set(me());
             return WriteGuard { lock: self };
         }
         let rc = par_ctx().expect("contended rwlock outside a runtime would deadlock");
         let me = crate::api::current_thread().expect("write outside a thread");
-        st.waiters.borrow_mut().push_back(Waiter::Writer(me));
         {
             let mut inner = rc.borrow_mut();
             let obj = inner.sync_id_for(&st.id);
-            inner.block_current(crate::trace::BlockReason::RwWrite, Some(obj));
+            inner.note_holders(obj, st.holders());
+            if let Some(info) = inner.check_for_cycle(me, Some(obj), None) {
+                inner.record_deadlock(&info);
+                if st.waiters.borrow().is_empty() {
+                    inner.note_holders(obj, Vec::new());
+                }
+                drop(inner);
+                std::panic::panic_any(crate::DeadlockError { info });
+            }
+            st.waiters.borrow_mut().push_back(Waiter::Writer(me));
+            inner.block_current(crate::trace::BlockReason::RwWrite, Some(obj), None);
         }
         suspend_current(&rc, YieldReason::Blocked);
         debug_assert!(st.writer.get());
@@ -139,6 +193,9 @@ impl<T> RwLock<T> {
         let st = &self.inner.state;
         if !st.writer.get() && st.waiters.borrow().is_empty() {
             st.readers.set(st.readers.get() + 1);
+            if let Some(me) = me() {
+                st.reader_ids.borrow_mut().push(me);
+            }
             Some(ReadGuard { lock: self })
         } else {
             None
@@ -154,6 +211,7 @@ impl<T> RwLock<T> {
         let st = &self.inner.state;
         if !st.writer.get() && st.readers.get() == 0 && st.waiters.borrow().is_empty() {
             st.writer.set(true);
+            st.writer_id.set(me());
             Some(WriteGuard { lock: self })
         } else {
             None
@@ -172,6 +230,7 @@ impl<T> RwLock<T> {
                     unreachable!()
                 };
                 st.writer.set(true);
+                st.writer_id.set(Some(w));
                 drop(waiters);
                 self.wake_batch(crate::trace::BlockReason::RwWrite, nwaiters, vec![w]);
             }
@@ -180,12 +239,31 @@ impl<T> RwLock<T> {
                 while let Some(Waiter::Reader(r)) = waiters.front().copied() {
                     waiters.pop_front();
                     st.readers.set(st.readers.get() + 1);
+                    st.reader_ids.borrow_mut().push(r);
                     woken.push(r);
                 }
                 drop(waiters);
                 self.wake_batch(crate::trace::BlockReason::RwRead, nwaiters, woken);
             }
             _ => {}
+        }
+    }
+
+    /// Refreshes the sentinel's holder entry for this lock: the current
+    /// holder snapshot while waiters are queued, retired otherwise. Lenient
+    /// on context like [`RwLock::wake_batch`].
+    fn publish_holders(&self) {
+        if let Some(rc) = par_ctx() {
+            if let Ok(mut inner) = rc.try_borrow_mut() {
+                let st = &self.inner.state;
+                let obj = inner.sync_id_for(&st.id);
+                let holders = if st.waiters.borrow().is_empty() {
+                    Vec::new()
+                } else {
+                    st.holders()
+                };
+                inner.note_holders(obj, holders);
+            }
         }
     }
 
@@ -198,9 +276,18 @@ impl<T> RwLock<T> {
         if let Some(rc) = par_ctx() {
             if let Ok(mut inner) = rc.try_borrow_mut() {
                 if let Some((_, p)) = inner.cur {
-                    let obj = inner.sync_id_for(&self.inner.state.id);
+                    let st = &self.inner.state;
+                    let obj = inner.sync_id_for(&st.id);
                     inner.shuffle_wake_order(&mut batch);
                     inner.note_sync(reason, obj, nwaiters, batch.len() as u64);
+                    // Sentinel registry: the admitted batch holds the lock
+                    // now; retire the entry once the queue drained.
+                    let holders = if st.waiters.borrow().is_empty() {
+                        Vec::new()
+                    } else {
+                        st.holders()
+                    };
+                    inner.note_holders(obj, holders);
                     for w in batch {
                         inner.make_ready(w, p);
                     }
@@ -223,8 +310,18 @@ impl<T> Drop for ReadGuard<'_, T> {
         charge_op();
         let st = &self.lock.inner.state;
         st.readers.set(st.readers.get() - 1);
+        if let Some(me) = me() {
+            let mut ids = st.reader_ids.borrow_mut();
+            if let Some(i) = ids.iter().position(|&r| r == me) {
+                ids.swap_remove(i);
+            }
+        }
         if st.readers.get() == 0 {
             self.lock.release_next();
+        } else if !st.waiters.borrow().is_empty() {
+            // Partial release under contention: keep the sentinel's holder
+            // snapshot accurate so it never walks a stale reader edge.
+            self.lock.publish_holders();
         }
     }
 }
@@ -248,6 +345,7 @@ impl<T> Drop for WriteGuard<'_, T> {
     fn drop(&mut self) {
         charge_op();
         self.lock.inner.state.writer.set(false);
+        self.lock.inner.state.writer_id.set(None);
         self.lock.release_next();
     }
 }

@@ -1,0 +1,191 @@
+//! Deadlock-sentinel types: timed-wait errors, structured deadlock reports,
+//! and the stall verdict produced by the virtual-time watchdog.
+//!
+//! The runtime maintains a live waits-for graph (thread → resource → holder
+//! edges) and runs an incremental cycle check every time a thread is about to
+//! block on an ownership-bearing resource (mutex, rwlock, join). When the
+//! block would close a cycle, the blocking thread is *not* enqueued; instead
+//! a [`DeadlockError`] panic payload unwinds it, the cycle is recorded into
+//! [`crate::Report::deadlocks`] as a [`DeadlockInfo`], and one
+//! `Deadlock` flight-recorder event per cycle member names the cycle for
+//! `ptdf-trace check`.
+//!
+//! Waits that cannot be avoided are bounded instead: the timed APIs
+//! ([`crate::Mutex::lock_timeout`], [`crate::Condvar::wait_timeout`],
+//! [`crate::Semaphore::acquire_timeout`], [`crate::JoinHandle::join_timeout`])
+//! return [`TimedOut`] via a per-processor deadline heap in the machine. And
+//! when every processor goes idle while live threads remain (a lost wakeup or
+//! livelock the cycle check cannot see), the watchdog halts the run with a
+//! [`StallInfo`] verdict instead of spinning or panicking deep in the engine;
+//! [`crate::try_run`] surfaces it as a [`RunError`].
+
+use crate::trace::BlockReason;
+use ptdf_smp::VirtTime;
+
+/// A timed synchronization wait expired before the resource was granted.
+///
+/// Returned by the `*_timeout` family of sync APIs. The wait is measured in
+/// *virtual* time on the waiting thread's processor clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedOut;
+
+impl std::fmt::Display for TimedOut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("timed wait expired before the resource was granted")
+    }
+}
+
+impl std::error::Error for TimedOut {}
+
+/// One detected waits-for cycle.
+///
+/// `cycle` lists the member thread ids in waits-for order: thread `cycle[i]`
+/// waits for a resource held (or being exited) by `cycle[(i + 1) % len]`. A
+/// self-deadlock (relocking a non-recursive mutex) is the 1-cycle `[t]`.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct DeadlockInfo {
+    /// Thread ids forming the cycle, in waits-for order.
+    pub cycle: Vec<u32>,
+    /// Sync-object ids each member waits on (`None` for a join edge),
+    /// parallel to `cycle`.
+    pub objs: Vec<Option<u32>>,
+    /// Virtual time (on the detecting thread's processor) of detection.
+    pub at: VirtTime,
+}
+
+impl std::fmt::Display for DeadlockInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deadlock at {:?}: ", self.at)?;
+        for t in &self.cycle {
+            write!(f, "t{t} -> ")?;
+        }
+        write!(f, "t{}", self.cycle.first().copied().unwrap_or(0))
+    }
+}
+
+/// Panic payload unwinding a thread whose block would have closed a
+/// waits-for cycle.
+///
+/// The runtime raises this *instead of blocking*: the thread never joins the
+/// waiter queue, so its unwind releases every lock it holds (guard
+/// destructors run during the unwind) and the rest of the cycle proceeds.
+/// The panic is delivered to whoever joins the thread; use
+/// [`crate::JoinHandle::try_join`] to observe it without re-raising.
+#[derive(Debug, Clone)]
+pub struct DeadlockError {
+    /// The cycle that would have formed, starting at the unwound thread.
+    pub info: DeadlockInfo,
+}
+
+impl std::fmt::Display for DeadlockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "waits-for cycle: {}", self.info)
+    }
+}
+
+impl std::error::Error for DeadlockError {}
+
+/// One live-but-stuck thread in a [`StallInfo`] verdict.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct StalledThread {
+    /// Thread id.
+    pub thread: u32,
+    /// Why it blocked, if it is blocked (`None` for a ready-but-never-
+    /// dispatched thread, which indicates an engine bug rather than an
+    /// application hang).
+    pub reason: Option<BlockReason>,
+    /// The sync object it waits on, if the wait names one.
+    pub obj: Option<u32>,
+    /// Virtual time of the thread's last event (its block time, or spawn
+    /// time if it never ran).
+    pub since: VirtTime,
+}
+
+/// The virtual-time watchdog's verdict: every processor went idle while
+/// live threads remained — a lost wakeup or livelock.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct StallInfo {
+    /// Virtual time (max processor clock) when the stall was declared.
+    pub at: VirtTime,
+    /// Scheduling policy name (as in [`crate::SchedKind`]).
+    pub scheduler: String,
+    /// Every live thread and what it was waiting for.
+    pub threads: Vec<StalledThread>,
+}
+
+impl std::fmt::Display for StallInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "stalled at {:?} under {}: all processors idle, {} live thread(s):",
+            self.at,
+            self.scheduler,
+            self.threads.len()
+        )?;
+        for t in &self.threads {
+            let reason = t.reason.map(|r| r.name()).unwrap_or("ready (never dispatched)");
+            match t.obj {
+                Some(obj) => writeln!(f, "  t{} blocked on {reason} #{obj} since {:?}", t.thread, t.since)?,
+                None => writeln!(f, "  t{} blocked on {reason} since {:?}", t.thread, t.since)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A run halted without completing: the watchdog declared a stall.
+///
+/// Returned by [`crate::try_run`]; carries the partial [`crate::Report`]
+/// (statistics, any trace, and any deadlocks detected before the stall).
+#[derive(Debug)]
+pub struct RunError {
+    /// The stall verdict.
+    pub stall: StallInfo,
+    /// The partial report for the halted run.
+    pub report: Box<crate::Report>,
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.stall)?;
+        for d in self.report.deadlocks() {
+            writeln!(f, "  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for RunError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadlock_info_displays_the_cycle() {
+        let info = DeadlockInfo {
+            cycle: vec![2, 5, 9],
+            objs: vec![Some(1), Some(2), Some(3)],
+            at: VirtTime::from_us(7),
+        };
+        let s = info.to_string();
+        assert!(s.contains("t2 -> t5 -> t9 -> t2"), "{s}");
+    }
+
+    #[test]
+    fn stall_info_names_every_thread() {
+        let stall = StallInfo {
+            at: VirtTime::from_ms(1),
+            scheduler: "df".into(),
+            threads: vec![StalledThread {
+                thread: 3,
+                reason: Some(BlockReason::Condvar),
+                obj: Some(12),
+                since: VirtTime::from_us(500),
+            }],
+        };
+        let s = stall.to_string();
+        assert!(s.contains("t3 blocked on condvar #12"), "{s}");
+        assert!(s.contains("1 live thread(s)"), "{s}");
+    }
+}

@@ -30,7 +30,11 @@ fn charge_sync_op() {
     if let Some(rc) = par_ctx() {
         {
             let mut inner = rc.borrow_mut();
-            let (_, p) = inner.cur.expect("sync op outside a thread");
+            // Lenient on context: stall-teardown destructors (guard drops,
+            // TLS values) release primitives with no current thread.
+            let Some((_, p)) = inner.cur else {
+                return;
+            };
             let c = inner.machine.cost().sync_op;
             inner.machine.sync_op(p, c);
         }
@@ -38,6 +42,10 @@ fn charge_sync_op() {
         // Schedule exploration: sync-operation boundaries are exactly the
         // points where involuntary preemption exposes protocol windows.
         crate::runtime::maybe_perturb_yield(&rc);
+        // Chaos fault injection preempts at the same boundaries — sync ops
+        // are exactly where threads hold locks, so this is the lock-holder
+        // preemption storm.
+        crate::runtime::maybe_chaos_yield(&rc);
     }
 }
 
@@ -113,15 +121,26 @@ impl<T> Mutex<T> {
                         st.owner.set(Some(me));
                         false
                     } else {
-                        assert_ne!(
-                            st.owner.get(),
-                            Some(me),
-                            "recursive lock would self-deadlock"
-                        );
-                        st.waiters.borrow_mut().push_back(me);
+                        let owner = st.owner.get().expect("contended lock with no owner");
                         let mut inner = rc.borrow_mut();
                         let obj = inner.sync_id_for(&st.id);
-                        inner.block_current(crate::trace::BlockReason::Mutex, Some(obj));
+                        // Publish the live holder and probe the prospective
+                        // waits-for edge *before* enqueueing: a closed cycle
+                        // (including the recursive self-lock) unwinds as a
+                        // structured DeadlockError instead of blocking a
+                        // doomed thread. The unwind releases every guard the
+                        // thread holds, so its cycle peers can proceed.
+                        inner.note_holders(obj, vec![owner]);
+                        if let Some(info) = inner.check_for_cycle(me, Some(obj), None) {
+                            inner.record_deadlock(&info);
+                            if st.waiters.borrow().is_empty() {
+                                inner.note_holders(obj, Vec::new());
+                            }
+                            drop(inner);
+                            std::panic::panic_any(crate::DeadlockError { info });
+                        }
+                        st.waiters.borrow_mut().push_back(me);
+                        inner.block_current(crate::trace::BlockReason::Mutex, Some(obj), None);
                         true
                     }
                 };
@@ -140,6 +159,60 @@ impl<T> Mutex<T> {
             }
         }
         MutexGuard { mutex: self }
+    }
+
+    /// Like [`Mutex::lock`], but gives up after `timeout` of virtual time,
+    /// returning [`crate::TimedOut`] instead of a guard.
+    ///
+    /// Timed waits are exempt from the deadlock sentinel — the deadline
+    /// itself guarantees progress — which makes this the building block for
+    /// deadlock *recovery* (pair it with [`crate::backoff::Backoff`]).
+    pub fn lock_timeout(
+        &self,
+        timeout: ptdf_smp::VirtTime,
+    ) -> Result<MutexGuard<'_, T>, crate::TimedOut> {
+        charge_sync_op();
+        let me = current_or_sentinel();
+        let st = &self.inner.state;
+        let Some(rc) = par_ctx() else {
+            // Outside a runtime no other thread can release the lock: an
+            // uncontended acquire succeeds, a contended one times out
+            // immediately (there is no virtual clock to wait on).
+            if st.owner.get().is_none() {
+                st.owner.set(Some(me));
+                return Ok(MutexGuard { mutex: self });
+            }
+            return Err(crate::TimedOut);
+        };
+        if st.owner.get().is_none() {
+            st.owner.set(Some(me));
+            return Ok(MutexGuard { mutex: self });
+        }
+        {
+            let mut inner = rc.borrow_mut();
+            let obj = inner.sync_id_for(&st.id);
+            st.waiters.borrow_mut().push_back(me);
+            inner.block_current(crate::trace::BlockReason::Mutex, Some(obj), None);
+            inner.arm_timed_wait(timeout);
+        }
+        suspend_current(&rc, YieldReason::Blocked);
+        {
+            let mut inner = rc.borrow_mut();
+            if inner.consume_timeout() {
+                // Withdraw from the queue (the unlocker may already have
+                // dropped us); retire the holders entry with the last
+                // waiter so the sentinel never walks a stale edge.
+                st.waiters.borrow_mut().retain(|&w| w != me);
+                if st.waiters.borrow().is_empty() {
+                    let obj = inner.sync_id_for(&st.id);
+                    inner.note_holders(obj, Vec::new());
+                }
+                return Err(crate::TimedOut);
+            }
+        }
+        // Direct handoff: the unlocker made us the owner.
+        debug_assert_eq!(st.owner.get(), Some(me));
+        Ok(MutexGuard { mutex: self })
     }
 
     /// Attempts the lock without blocking.
@@ -173,17 +246,38 @@ impl<T> Mutex<T> {
         charge_sync_op();
         let st = &self.inner.state;
         let nwaiters = st.waiters.borrow().len() as u64;
-        let next = st.waiters.borrow_mut().pop_front();
+        let ctx = par_ctx();
+        let mut inner = match ctx.as_ref() {
+            Some(rc) => rc.try_borrow_mut().ok(),
+            None => None,
+        };
+        // Hand off to the next *still-blocked* waiter. A timeout-woken
+        // waiter in the queue already had its wake; it is dropped here (it
+        // also removes itself on resume — whoever gets there first).
+        let next = loop {
+            let cand = st.waiters.borrow_mut().pop_front();
+            match (cand, inner.as_deref_mut()) {
+                (Some(w), Some(inner)) if !inner.thread_is_blocked(w) => continue,
+                (cand, _) => break cand,
+            }
+        };
         match next {
             Some(w) => {
+                // Ownership transfers *before* the wake is published, so
+                // the resumed waiter can assert the handoff.
                 st.owner.set(Some(w));
-                if let Some(rc) = par_ctx() {
-                    if let Ok(mut inner) = rc.try_borrow_mut() {
-                        if let Some((_, p)) = inner.cur {
-                            let obj = inner.sync_id_for(&st.id);
-                            inner.note_sync(crate::trace::BlockReason::Mutex, obj, nwaiters, 1);
-                            inner.make_ready(w, p);
+                if let Some(inner) = inner.as_deref_mut() {
+                    if let Some((_, p)) = inner.cur {
+                        let obj = inner.sync_id_for(&st.id);
+                        inner.note_sync(crate::trace::BlockReason::Mutex, obj, nwaiters, 1);
+                        // Sentinel registry: `w` is the holder now; retire
+                        // the entry when the queue drained.
+                        if st.waiters.borrow().is_empty() {
+                            inner.note_holders(obj, Vec::new());
+                        } else {
+                            inner.note_holders(obj, vec![w]);
                         }
+                        inner.make_ready(w, p);
                     }
                 }
             }
@@ -250,15 +344,33 @@ impl Condvar {
     pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
         let rc = par_ctx().expect("Condvar::wait requires a runtime");
         let mutex = guard.mutex;
+        let me = crate::api::current_thread().expect("wait outside a thread");
         {
-            let me = crate::api::current_thread().expect("wait outside a thread");
             self.state.waiters.borrow_mut().push_back(me);
             let mut inner = rc.borrow_mut();
             let obj = inner.sync_id_for(&self.state.id);
-            inner.block_current(crate::trace::BlockReason::Condvar, Some(obj));
+            inner.block_current(crate::trace::BlockReason::Condvar, Some(obj), None);
+            // Chaos fault: occasionally arm a short artificial deadline so
+            // this wait returns *spuriously* — POSIX sanctions spurious
+            // wakeups, and callers in the canonical `wait_while` idiom must
+            // tolerate them. Confined to condvars: every other primitive's
+            // resume protocol asserts a real handoff happened.
+            let spurious = inner.chaos.as_mut().is_some_and(|c| c.chance(1, 8));
+            if spurious {
+                let jitter = inner.chaos.as_mut().expect("checked").below(1_500);
+                inner.arm_timed_wait(ptdf_smp::VirtTime::from_ns(500 + jitter));
+            }
         }
         drop(guard); // releases the mutex (may hand it to a lock waiter)
         suspend_current(&rc, YieldReason::Blocked);
+        {
+            let mut inner = rc.borrow_mut();
+            if inner.consume_timeout() {
+                // Spurious wake: withdraw from the wait list so a later
+                // notify is not charged for a wake it never delivered.
+                self.state.waiters.borrow_mut().retain(|&w| w != me);
+            }
+        }
         mutex.lock()
     }
 
@@ -275,23 +387,72 @@ impl Condvar {
         guard
     }
 
+    /// Like [`Condvar::wait`], but gives up after `timeout` of virtual
+    /// time. The mutex is re-acquired either way; `Err(TimedOut)` tells the
+    /// caller the deadline passed without a delivered notify.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: ptdf_smp::VirtTime,
+    ) -> (MutexGuard<'a, T>, Result<(), crate::TimedOut>) {
+        let rc = par_ctx().expect("Condvar::wait_timeout requires a runtime");
+        let mutex = guard.mutex;
+        let me = crate::api::current_thread().expect("wait outside a thread");
+        {
+            self.state.waiters.borrow_mut().push_back(me);
+            let mut inner = rc.borrow_mut();
+            let obj = inner.sync_id_for(&self.state.id);
+            inner.block_current(crate::trace::BlockReason::Condvar, Some(obj), None);
+            inner.arm_timed_wait(timeout);
+        }
+        drop(guard);
+        suspend_current(&rc, YieldReason::Blocked);
+        let timed_out = {
+            let mut inner = rc.borrow_mut();
+            let timed_out = inner.consume_timeout();
+            if timed_out {
+                // Withdraw from the wait list so a later notify is not
+                // charged for a wake it never delivered.
+                self.state.waiters.borrow_mut().retain(|&w| w != me);
+            }
+            timed_out
+        };
+        let guard = mutex.lock();
+        (guard, if timed_out { Err(crate::TimedOut) } else { Ok(()) })
+    }
+
     /// Wakes one waiter.
     pub fn notify_one(&self) {
         charge_sync_op();
         let nwaiters = self.state.waiters.borrow().len() as u64;
-        let woken = self.state.waiters.borrow_mut().pop_front();
-        if let Some(rc) = par_ctx() {
-            let mut inner = rc.borrow_mut();
-            let obj = inner.sync_id_for(&self.state.id);
-            inner.note_sync(
-                crate::trace::BlockReason::Condvar,
-                obj,
-                nwaiters,
-                woken.is_some() as u64,
-            );
-        }
-        if let Some(w) = woken {
-            wake(w);
+        match par_ctx() {
+            Some(rc) => {
+                let mut inner = rc.borrow_mut();
+                // Skip waiters that already woke spuriously (no longer
+                // Blocked): delivering this notify to one would lose it.
+                let woken = loop {
+                    match self.state.waiters.borrow_mut().pop_front() {
+                        Some(w) if !inner.thread_is_blocked(w) => continue,
+                        other => break other,
+                    }
+                };
+                let obj = inner.sync_id_for(&self.state.id);
+                inner.note_sync(
+                    crate::trace::BlockReason::Condvar,
+                    obj,
+                    nwaiters,
+                    woken.is_some() as u64,
+                );
+                if let Some(w) = woken {
+                    if let Some((_, p)) = inner.cur {
+                        inner.make_ready(w, p);
+                    }
+                }
+            }
+            None => {
+                let woken = self.state.waiters.borrow_mut().pop_front();
+                assert!(woken.is_none(), "notify requires a runtime");
+            }
         }
     }
 
@@ -303,13 +464,17 @@ impl Condvar {
         match par_ctx() {
             Some(rc) => {
                 let mut inner = rc.borrow_mut();
+                // Drop waiters that already woke spuriously; their wake
+                // happened and counting them would overstate delivery.
+                woken.retain(|&w| inner.thread_is_blocked(w));
                 let obj = inner.sync_id_for(&self.state.id);
                 inner.shuffle_wake_order(&mut woken);
                 let n = woken.len() as u64;
                 inner.note_sync(crate::trace::BlockReason::Condvar, obj, n, n);
-                let (_, p) = inner.cur.expect("notify outside a thread");
-                for &w in &woken {
-                    inner.make_ready(w, p);
+                if let Some((_, p)) = inner.cur {
+                    for &w in &woken {
+                        inner.make_ready(w, p);
+                    }
                 }
             }
             None => assert!(woken.is_empty(), "notify requires a runtime"),
@@ -322,11 +487,17 @@ impl Condvar {
     }
 }
 
+/// Test-only raw wake (the production paths all wake under the borrow they
+/// already hold); kept lenient like the other bookkeeping paths.
+#[cfg(test)]
 fn wake(t: ThreadId) {
-    let rc = par_ctx().expect("notify requires a runtime");
-    let mut inner = rc.borrow_mut();
-    let (_, p) = inner.cur.expect("notify outside a thread");
-    inner.make_ready(t, p);
+    if let Some(rc) = par_ctx() {
+        if let Ok(mut inner) = rc.try_borrow_mut() {
+            if let Some((_, p)) = inner.cur {
+                inner.make_ready(t, p);
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -373,7 +544,7 @@ impl Semaphore {
                         self.state.waiters.borrow_mut().push_back(me);
                         let mut inner = rc.borrow_mut();
                         let obj = inner.sync_id_for(&self.state.id);
-                        inner.block_current(crate::trace::BlockReason::Semaphore, Some(obj));
+                        inner.block_current(crate::trace::BlockReason::Semaphore, Some(obj), None);
                         true
                     }
                 };
@@ -390,6 +561,41 @@ impl Semaphore {
                 self.state.permits.set(self.state.permits.get() - 1);
             }
         }
+    }
+
+    /// Timed P: takes a permit, giving up with [`crate::TimedOut`] if none
+    /// arrived within `timeout` of virtual time.
+    pub fn acquire_timeout(&self, timeout: ptdf_smp::VirtTime) -> Result<(), crate::TimedOut> {
+        charge_sync_op();
+        let st = &*self.state;
+        let Some(rc) = par_ctx() else {
+            // Outside a runtime nobody can release: succeed or time out now.
+            if st.permits.get() > 0 {
+                st.permits.set(st.permits.get() - 1);
+                return Ok(());
+            }
+            return Err(crate::TimedOut);
+        };
+        if st.permits.get() > 0 {
+            st.permits.set(st.permits.get() - 1);
+            return Ok(());
+        }
+        let me = crate::api::current_thread().expect("acquire outside a thread");
+        {
+            st.waiters.borrow_mut().push_back(me);
+            let mut inner = rc.borrow_mut();
+            let obj = inner.sync_id_for(&st.id);
+            inner.block_current(crate::trace::BlockReason::Semaphore, Some(obj), None);
+            inner.arm_timed_wait(timeout);
+        }
+        suspend_current(&rc, YieldReason::Blocked);
+        let mut inner = rc.borrow_mut();
+        if inner.consume_timeout() {
+            st.waiters.borrow_mut().retain(|&w| w != me);
+            return Err(crate::TimedOut);
+        }
+        // Direct handoff: the releaser consumed the permit for us.
+        Ok(())
     }
 
     /// Non-blocking P: takes a permit if one is available.
@@ -421,18 +627,32 @@ impl Semaphore {
             return;
         }
         let nwaiters = st.waiters.borrow().len() as u64;
-        let woken = st.waiters.borrow_mut().pop_front();
+        let ctx = par_ctx();
+        let mut inner = match ctx.as_ref() {
+            Some(rc) => rc.try_borrow_mut().ok(),
+            None => None,
+        };
+        // Skip timeout-woken waiters (no longer Blocked): the permit must
+        // not be consumed on behalf of a thread that already gave up.
+        let woken = loop {
+            let cand = st.waiters.borrow_mut().pop_front();
+            match (cand, inner.as_deref_mut()) {
+                (Some(w), Some(inner)) if !inner.thread_is_blocked(w) => continue,
+                (cand, _) => break cand,
+            }
+        };
         match woken {
             Some(w) => {
                 // Direct handoff: the permit is consumed on the waiter's
                 // behalf (never parked in `permits`, so a concurrent
                 // `try_acquire` cannot steal it from under the wake).
-                if let Some(rc) = par_ctx() {
-                    let mut inner = rc.borrow_mut();
+                if let Some(inner) = inner.as_deref_mut() {
                     let obj = inner.sync_id_for(&st.id);
                     inner.note_sync(crate::trace::BlockReason::Semaphore, obj, nwaiters, 1);
+                    if let Some((_, p)) = inner.cur {
+                        inner.make_ready(w, p);
+                    }
                 }
-                wake(w);
             }
             None => st.permits.set(st.permits.get() + 1),
         }
@@ -506,9 +726,10 @@ impl Barrier {
             inner.shuffle_wake_order(&mut woken);
             let n = woken.len() as u64;
             inner.note_sync(crate::trace::BlockReason::Barrier, obj, n, n);
-            let (_, p) = inner.cur.expect("barrier outside a thread");
-            for w in woken {
-                inner.make_ready(w, p);
+            if let Some((_, p)) = inner.cur {
+                for w in woken {
+                    inner.make_ready(w, p);
+                }
             }
             true
         } else {
@@ -519,7 +740,7 @@ impl Barrier {
                 st.waiters.borrow_mut().push(me);
                 let mut inner = rc.borrow_mut();
                 let obj = inner.sync_id_for(&st.id);
-                inner.block_current(crate::trace::BlockReason::Barrier, Some(obj));
+                inner.block_current(crate::trace::BlockReason::Barrier, Some(obj), None);
             }
             suspend_current(&rc, YieldReason::Blocked);
             // The leader drains the waiter list atomically while bumping

@@ -81,6 +81,18 @@ pub(crate) enum Kind {
     Dummy,
 }
 
+/// What a blocked thread is waiting for — one edge of the waits-for graph
+/// the deadlock sentinel walks. Written by `block_current`, cleared on wake.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Wait {
+    /// Primitive class (mutex, condvar, join, ...).
+    pub reason: crate::trace::BlockReason,
+    /// Per-run sync-object id, when the primitive has one (`None` for join).
+    pub obj: Option<u32>,
+    /// Join target, when the wait is on another thread's exit.
+    pub target: Option<ThreadId>,
+}
+
 /// Thread control block.
 pub(crate) struct Tcb {
     pub state: TState,
@@ -119,6 +131,14 @@ pub(crate) struct Tcb {
     /// Virtual time at which the thread last became ready (flight-recorder
     /// ready-wait accounting).
     pub ready_since: ptdf_smp::VirtTime,
+    /// What the thread is blocked on (waits-for edge); `Some` exactly while
+    /// `state == Blocked`.
+    pub wait: Option<Wait>,
+    /// Armed virtual-time deadline of an in-progress timed wait.
+    pub deadline: Option<ptdf_smp::VirtTime>,
+    /// Set by the engine when the thread was woken by its deadline rather
+    /// than by the primitive; the timed API consumes (clears) it on resume.
+    pub timed_out: bool,
 }
 
 impl Tcb {
@@ -141,6 +161,9 @@ impl Tcb {
             exit_time: ptdf_smp::VirtTime::ZERO,
             blocked_at: ptdf_smp::VirtTime::ZERO,
             ready_since: ptdf_smp::VirtTime::ZERO,
+            wait: None,
+            deadline: None,
+            timed_out: false,
         }
     }
 }
@@ -228,6 +251,18 @@ impl<T> JoinHandle<T> {
     /// [`JoinError::Panicked`] instead of unwinding the joiner.
     pub fn try_join(self) -> Result<T, JoinError> {
         crate::runtime::try_join_impl(&self)
+    }
+
+    /// Waits up to `timeout` of virtual time for the thread to finish.
+    ///
+    /// On timeout the handle is returned so the caller can retry (or detach
+    /// by dropping it); the thread keeps running either way. A panic in the
+    /// joined thread is re-raised like [`JoinHandle::join`].
+    pub fn join_timeout(
+        self,
+        timeout: ptdf_smp::VirtTime,
+    ) -> Result<T, JoinHandle<T>> {
+        crate::runtime::join_timeout_impl(self, timeout)
     }
 
     /// Explicitly detaches the thread (equivalent to dropping the handle).

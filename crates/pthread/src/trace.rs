@@ -214,6 +214,26 @@ pub enum EventKind {
         /// The armed bound in bytes.
         bound: u64,
     },
+    /// A timed wait expired: the subject thread woke itself at its armed
+    /// deadline instead of being woken by a notify. Sanctioned by the
+    /// happens-before checker — a timeout wake requires no notifier.
+    Timeout {
+        /// Sync object the wait was parked on (`None` for `join_timeout`
+        /// and artificial chaos deadlines).
+        obj: Option<u32>,
+    },
+    /// The deadlock sentinel detected a waits-for cycle. One event is
+    /// recorded per cycle member (the subject thread), all sharing a
+    /// per-run `cycle` index; following `waits_for` from any member walks
+    /// the whole cycle.
+    Deadlock {
+        /// Per-run index of the detected cycle (members share it).
+        cycle: u32,
+        /// The thread this member waits for (the next cycle member).
+        waits_for: u32,
+        /// Sync object this member waits on (`None` for a join edge).
+        obj: Option<u32>,
+    },
 }
 
 impl EventKind {
@@ -235,6 +255,8 @@ impl EventKind {
             EventKind::Free { .. } => "free",
             EventKind::FreeUnderflow { .. } => "free-underflow",
             EventKind::BoundViolation { .. } => "bound-violation",
+            EventKind::Timeout { .. } => "timeout",
+            EventKind::Deadlock { .. } => "deadlock",
         }
     }
 }
@@ -321,6 +343,9 @@ pub struct TraceMeta {
     /// Schedule-perturbation seed the run used, if any — together with
     /// `scheduler` this is the full replay recipe for the schedule.
     pub perturb_seed: Option<u64>,
+    /// Chaos-fault seed ([`crate::Config::with_chaos`]) the run used, if
+    /// any; part of the replay recipe when present.
+    pub chaos_seed: Option<u64>,
 }
 
 /// A recorded flight-recorder trace.
@@ -747,6 +772,14 @@ impl Trace {
                     args.push(("footprint", Value::UInt(footprint)));
                     args.push(("bound", Value::UInt(bound)));
                 }
+                EventKind::Timeout { obj } => {
+                    args.push(("obj", obj.map_or(Value::Null, |o| Value::UInt(o as u64))));
+                }
+                EventKind::Deadlock { cycle, waits_for, obj } => {
+                    args.push(("cycle", Value::UInt(cycle as u64)));
+                    args.push(("waitsFor", Value::UInt(waits_for as u64)));
+                    args.push(("obj", obj.map_or(Value::Null, |o| Value::UInt(o as u64))));
+                }
                 EventKind::FirstDispatch | EventKind::Preempt => {}
             }
             records.push(obj(vec![
@@ -817,6 +850,10 @@ impl Trace {
                         "perturbSeed",
                         self.meta.perturb_seed.map_or(Value::Null, Value::UInt),
                     ),
+                    (
+                        "chaosSeed",
+                        self.meta.chaos_seed.map_or(Value::Null, Value::UInt),
+                    ),
                 ]),
             ),
             ("ptdfThreads", Value::Arr(threads)),
@@ -846,6 +883,7 @@ impl Trace {
                     .unwrap_or(0),
                 quota: meta.get("quota").and_then(Value::as_u64),
                 perturb_seed: meta.get("perturbSeed").and_then(Value::as_u64),
+                chaos_seed: meta.get("chaosSeed").and_then(Value::as_u64),
             };
         }
         let records = doc
@@ -924,6 +962,15 @@ impl Trace {
                         },
                         "free" => EventKind::Free {
                             bytes: arg_u64("bytes").ok_or("free without bytes")?,
+                        },
+                        "timeout" => EventKind::Timeout {
+                            obj: arg_u64("obj").map(|v| v as u32),
+                        },
+                        "deadlock" => EventKind::Deadlock {
+                            cycle: arg_u64("cycle").ok_or("deadlock without cycle")? as u32,
+                            waits_for: arg_u64("waitsFor").ok_or("deadlock without waitsFor")?
+                                as u32,
+                            obj: arg_u64("obj").map(|v| v as u32),
                         },
                         other => return Err(format!("unknown instant event {other:?}")),
                     };

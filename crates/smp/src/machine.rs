@@ -9,6 +9,8 @@ use crate::record::{MachineRecording, MemEventKind, Recorder};
 use crate::stats::{Bucket, MemStats, ProcStats, RunStats};
 use crate::time::VirtTime;
 use crate::vlock::VirtualLock;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Index of a virtual processor.
 pub type ProcId = usize;
@@ -55,6 +57,12 @@ pub struct Machine {
     /// Schedule perturbation, when enabled (see
     /// [`Machine::enable_perturbation`]).
     perturb: Option<Prng>,
+    /// Per-processor deadline heaps for timed waits: `(fire time, token)`
+    /// min-heaps. The machine only stores and orders deadlines; arming,
+    /// firing and staleness policy all live in the driving runtime (tokens
+    /// are opaque here). Deadline bookkeeping is free in virtual time — it
+    /// never charges a clock and never records an event.
+    deadlines: Vec<BinaryHeap<Reverse<(VirtTime, u64)>>>,
 }
 
 /// Maximum extra nanoseconds the perturbation mode injects at one
@@ -92,7 +100,33 @@ impl Machine {
             bound_violations: 0,
             recorder: None,
             perturb: None,
+            deadlines: (0..p).map(|_| BinaryHeap::new()).collect(),
         }
+    }
+
+    /// Arms a timed-wait deadline on processor `p`: `token` (an opaque
+    /// runtime identifier, typically a thread id) becomes due once `p`'s
+    /// clock reaches `at`. Costs nothing in virtual time.
+    pub fn arm_deadline(&mut self, p: ProcId, at: VirtTime, token: u64) {
+        self.deadlines[p].push(Reverse((at, token)));
+    }
+
+    /// The earliest armed deadline on processor `p`, if any. Entries are
+    /// returned in `(fire time, token)` order; stale entries (whose wait was
+    /// satisfied before the deadline) are the runtime's job to recognize and
+    /// [`pop_deadline`](Machine::pop_deadline) away.
+    pub fn peek_deadline(&self, p: ProcId) -> Option<(VirtTime, u64)> {
+        self.deadlines[p].peek().map(|Reverse(e)| *e)
+    }
+
+    /// Removes and returns the earliest armed deadline on processor `p`.
+    pub fn pop_deadline(&mut self, p: ProcId) -> Option<(VirtTime, u64)> {
+        self.deadlines[p].pop().map(|Reverse(e)| e)
+    }
+
+    /// Whether any processor has an armed deadline outstanding.
+    pub fn has_deadlines(&self) -> bool {
+        self.deadlines.iter().any(|h| !h.is_empty())
     }
 
     /// Arms the space-bound enforcer: every footprint growth is checked
@@ -654,6 +688,37 @@ mod tests {
         let _ = m.thread_first_run(0, 1024 * 1024, c);
         let stats = m.finish();
         assert!(stats.mem.bound_violations >= 2, "create + first-run growths");
+    }
+
+    #[test]
+    fn deadline_heap_orders_and_costs_nothing() {
+        let mut m = machine(2);
+        let before = (m.clock(0), m.clock(1));
+        m.arm_deadline(0, VirtTime::from_us(30), 3);
+        m.arm_deadline(0, VirtTime::from_us(10), 1);
+        m.arm_deadline(0, VirtTime::from_us(20), 2);
+        m.arm_deadline(1, VirtTime::from_us(5), 9);
+        assert!(m.has_deadlines());
+        assert_eq!(m.peek_deadline(0), Some((VirtTime::from_us(10), 1)));
+        assert_eq!(m.pop_deadline(0), Some((VirtTime::from_us(10), 1)));
+        assert_eq!(m.pop_deadline(0), Some((VirtTime::from_us(20), 2)));
+        assert_eq!(m.pop_deadline(0), Some((VirtTime::from_us(30), 3)));
+        assert_eq!(m.pop_deadline(0), None);
+        assert_eq!(m.pop_deadline(1), Some((VirtTime::from_us(5), 9)));
+        assert!(!m.has_deadlines());
+        // Deadline bookkeeping never moves a clock.
+        assert_eq!((m.clock(0), m.clock(1)), before);
+        let stats = m.finish();
+        assert_eq!(stats.makespan, VirtTime::ZERO);
+    }
+
+    #[test]
+    fn deadline_ties_order_by_token() {
+        let mut m = machine(1);
+        m.arm_deadline(0, VirtTime::from_ns(100), 7);
+        m.arm_deadline(0, VirtTime::from_ns(100), 2);
+        assert_eq!(m.pop_deadline(0), Some((VirtTime::from_ns(100), 2)));
+        assert_eq!(m.pop_deadline(0), Some((VirtTime::from_ns(100), 7)));
     }
 
     #[test]

@@ -22,9 +22,11 @@
 //!   [`ptdf::Config::with_space_bound`].
 //! * `check <trace.json>...` — run the happens-before checker
 //!   ([`ptdf::check_trace`]) over each trace: lost notifies/wakeups,
-//!   wait-past-notify, block/wake pairing, lifecycle inversions. Prints a
-//!   replay recipe (`--sched <policy> --perturb-seed <seed>`) for any
-//!   trace recorded under schedule perturbation.
+//!   wait-past-notify, block/wake pairing, lifecycle inversions, and
+//!   deadlocks the sentinel recorded (rendered as
+//!   `deadlock at <t>: waits-for cycle t1 -> t2 -> ... -> t1`). Prints a
+//!   replay recipe (`--sched <policy> [--perturb-seed <s>] [--chaos-seed
+//!   <c>]`) for any trace recorded under perturbation or chaos.
 //! * `diff <a.json> <b.json>` — side-by-side comparison of two traces
 //!   (schedulers, footprint, event counts, latency percentiles).
 //!
@@ -79,8 +81,9 @@ commands:
       over the bound.
   check <trace.json>...
       Happens-before checking: lost notifies/wakeups, wait-past-notify,
-      block/wake pairing, lifecycle inversions. Exits 1 if any trace
-      has violations; prints the replay recipe when one is recorded.
+      block/wake pairing, lifecycle inversions, recorded deadlock
+      cycles. Exits 1 if any trace has violations; prints the replay
+      recipe when one is recorded.
   diff <a.json> <b.json>
       Compare two traces side by side.
 ";
@@ -581,6 +584,46 @@ mod tests {
         assert!(rendered.contains("violation"), "{rendered}");
         assert!(
             rendered.contains("--sched fifo --perturb-seed 99"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn check_names_the_cycle_on_a_deadlock_trace() {
+        // AB-BA inversion under the sentinel: the recorder carries one
+        // Deadlock event per cycle member, and `check` must surface the
+        // reassembled cycle (this is the path the CI smoke drives through
+        // examples/deadlock_trace.rs).
+        let (_, report) = ptdf::try_run(
+            Config::new(2, SchedKind::Df).with_trace().with_perturbation(3),
+            || {
+                let a = ptdf::Mutex::new(());
+                let b = ptdf::Mutex::new(());
+                let (a2, b2) = (a.clone(), b.clone());
+                let t1 = ptdf::spawn(move || {
+                    let _ga = a2.lock();
+                    ptdf::work(300_000);
+                    let _gb = b2.lock();
+                });
+                let t2 = ptdf::spawn(move || {
+                    let _gb = b.lock();
+                    ptdf::work(300_000);
+                    let _ga = a.lock();
+                });
+                let _ = t1.try_join();
+                let _ = t2.try_join();
+            },
+        )
+        .expect("a detected deadlock completes the run with a verdict");
+        assert_eq!(report.deadlocks().len(), 1);
+        let t = report.trace.unwrap();
+        let c = ptdf::check_trace(&t);
+        assert!(!c.is_clean(), "deadlock trace must check dirty");
+        let rendered = render_check("t.json", &c);
+        assert!(rendered.contains("deadlock at"), "{rendered}");
+        assert!(rendered.contains("waits-for cycle"), "{rendered}");
+        assert!(
+            rendered.contains("--sched df --perturb-seed 3"),
             "{rendered}"
         );
     }

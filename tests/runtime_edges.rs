@@ -35,13 +35,15 @@ fn deadlock_is_detected_and_reported() {
         });
     });
     let err = result.expect_err("deadlock must not complete");
-    let msg = err
-        .downcast_ref::<String>()
-        .cloned()
-        .unwrap_or_default();
+    let dl = err
+        .downcast_ref::<ptdf::DeadlockError>()
+        .expect("panic payload should be the structured DeadlockError");
+    let mut cycle = dl.info.cycle.clone();
+    cycle.sort_unstable();
+    assert_eq!(cycle, vec![1, 2], "cycle should name exactly t1 and t2");
     assert!(
-        msg.contains("deadlock"),
-        "panic should identify the deadlock, got: {msg}"
+        dl.to_string().contains("deadlock"),
+        "display should identify the deadlock, got: {dl}"
     );
 }
 
