@@ -21,7 +21,10 @@
 //!    `TRACE_GUARD_SENTINEL_TOL` (default 0.05 = 5%); the sentinel's cost
 //!    on the *policy-level* indexed dispatch paths is zero by design
 //!    (bookkeeping lives in the engine's block/unblock paths), which the
-//!    micro-storm comparison above witnesses.
+//!    micro-storm comparison above witnesses. It also re-runs the spawn
+//!    storm with the host phase profiler explicitly disarmed
+//!    (`with_host_profile(false)`) and holds it to the committed pooled
+//!    baseline — the profiler must be zero-cost when off.
 //!
 //! Run with: `cargo bench -p ptdf-bench --bench trace_overhead`
 //! (`REPRO_QUICK=1` for the CI smoke configuration.)
@@ -152,7 +155,48 @@ fn guard() -> i32 {
 
     failed |= spawn_guard(&doc, tol);
     failed |= sentinel_guard(&doc);
+    failed |= host_profile_off_guard(&doc, tol);
     i32::from(failed)
+}
+
+/// Holds the line on the host phase profiler's *disarmed* cost: a spawn
+/// storm run with `with_host_profile(false)` — the path every unprofiled
+/// run takes through the profiler's hot-path hooks — must stay within
+/// tolerance of the committed pooled baseline. When off, the hooks are one
+/// `Option` discriminant test each; this guard is what keeps them that way.
+fn host_profile_off_guard(doc: &Value, tol: f64) -> bool {
+    const GUARD_RETRIES: usize = 4;
+    let fresh = wallclock::spawn_storm_profile_off();
+    let baseline = doc.get("spawn_storm").and_then(Value::as_arr).and_then(|arr| {
+        arr.iter()
+            .find(|b| {
+                b.get("pool").and_then(Value::as_str) == Some("pooled")
+                    && b.get("threads").and_then(Value::as_u64) == Some(fresh.threads)
+            })
+            .and_then(|b| b.get("ns_per_spawn").and_then(Value::as_f64))
+    });
+    let Some(base) = baseline else {
+        println!(
+            "  host_profile(off): no committed pooled baseline for {} threads",
+            fresh.threads
+        );
+        return false;
+    };
+    let mut best = fresh.ns_per_spawn;
+    let mut retries = 0;
+    while best > base * (1.0 + tol) && retries < GUARD_RETRIES {
+        best = best.min(wallclock::spawn_storm_profile_off().ns_per_spawn);
+        retries += 1;
+    }
+    let ratio = best / base;
+    let verdict = if ratio <= 1.0 + tol { "ok" } else { "REGRESSION" };
+    println!(
+        "  host_profile(off) spawn storm @{:>7}: {best:.1} ns vs {base:.1} ns baseline \
+         ({:+.1}%, {retries} retries) {verdict}",
+        fresh.threads,
+        (ratio - 1.0) * 100.0
+    );
+    ratio > 1.0 + tol
 }
 
 /// Holds the line on the deadlock sentinel's waits-for bookkeeping: fresh

@@ -1,6 +1,7 @@
 //! Wall-clock scheduler benchmark: micro dispatch storms (indexed vs
-//! reference policies, 10k–1M live threads) plus matmul/FFT/dtree host
-//! runtimes under each scheduler. Writes `BENCH_sched.json` at the
+//! reference policies, 10k–1M live threads), host runtimes of all seven
+//! paper applications under each scheduler, spawn/sentinel storms, and
+//! the host engine phase profile. Writes `BENCH_sched.json` at the
 //! workspace root. `REPRO_QUICK=1` for the CI smoke configuration.
 
 use ptdf_bench::wallclock::{self, StormPoint};
@@ -83,10 +84,37 @@ fn main() {
     ]);
     t.finish();
 
+    let host_phase = wallclock::run_host_phase(procs);
+    let mut t = Table::new(
+        "wallclock_host_phase",
+        "Host engine phase profile: where the engine's own host ns go (traced runs)",
+        &["workload", "sched", "phase", "calls", "ns", "share %"],
+    );
+    for p in &host_phase {
+        let total = p.phases.total_ns().max(1);
+        for (name, ps) in p.phases.phases() {
+            t.row(vec![
+                p.workload.to_string(),
+                p.sched.to_string(),
+                name.to_string(),
+                ps.count.to_string(),
+                ps.ns.to_string(),
+                format!("{:.1}", ps.ns as f64 / total as f64 * 100.0),
+            ]);
+        }
+    }
+    t.finish();
+
     let path = wallclock::json_path();
     std::fs::write(
         &path,
-        wallclock::to_json(&micro, &apps, &spawn, std::slice::from_ref(&sentinel)),
+        wallclock::to_json(
+            &micro,
+            &apps,
+            &spawn,
+            std::slice::from_ref(&sentinel),
+            &host_phase,
+        ),
     )
     .expect("write BENCH_sched.json");
     println!("[json written to {}]", path.display());

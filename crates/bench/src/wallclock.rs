@@ -17,9 +17,10 @@
 //!      pop (O(n)); the indexed scheduler answers from its cached exact
 //!      minimum (O(1)).
 //!
-//! 2. **Application wall-clock** — matmul, FFT, and the decision tree at
-//!    reduced scale under every scheduler, reporting total host runtime and
-//!    host nanoseconds per engine dispatch.
+//! 2. **Application wall-clock** — all seven paper applications (matmul,
+//!    Barnes-Hut, FMM, decision tree, FFT, sparse matvec, volume
+//!    rendering) at reduced scale under every scheduler, reporting total
+//!    host runtime and host nanoseconds per engine dispatch.
 //!
 //! 3. **Spawn storm** — a 100k-thread fork/join churn through the full
 //!    engine, run twice: with the fiber stack pool (the default) and with
@@ -35,6 +36,12 @@
 //!    `ns_per_join` cell is the baseline the overhead guard holds the
 //!    bookkeeping to (default 5% tolerance).
 //!
+//! 5. **Host engine phases** — matmul, FFT, the decision tree, and a
+//!    fork/join storm re-run under [`ptdf::Config::with_host_profile`]
+//!    with tracing on, reporting where the engine's own host time goes
+//!    (event-heap push/pop, dispatch prologue, charge batching, sched-lock
+//!    accounting, trace allocation) as counts, nanoseconds, and shares.
+//!
 //! `REPRO_QUICK=1` shrinks the storm sizes and budgets for CI smoke runs.
 
 use std::fmt::Write as _;
@@ -43,7 +50,10 @@ use std::time::{Duration, Instant};
 use ptdf::bench_api::{BenchPolicy, BenchPop};
 use ptdf::{Config, SchedKind};
 
-use crate::drivers::{dtree_driver, fft_driver, matmul_driver, AppDriver};
+use crate::drivers::{
+    barnes_hut_driver, dtree_driver, fft_driver, fmm_driver, matmul_driver, spmv_driver,
+    volren_driver, AppDriver,
+};
 
 /// One (storm, implementation, size) measurement.
 #[derive(Debug, Clone)]
@@ -286,13 +296,23 @@ pub fn app_scheds() -> Vec<SchedKind> {
     ]
 }
 
-/// Times matmul / FFT / decision tree (reduced scale) under each scheduler.
-pub fn run_apps(procs: usize) -> Vec<AppPoint> {
-    let apps: [(&'static str, AppDriver); 3] = [
+/// The full seven-app suite of the paper's Figure 8, at reduced scale,
+/// keyed by the short names `BENCH_sched.json` uses.
+fn app_suite() -> [(&'static str, AppDriver); 7] {
+    [
         ("matmul", matmul_driver()),
-        ("fft", fft_driver()),
+        ("barnes_hut", barnes_hut_driver()),
+        ("fmm", fmm_driver()),
         ("dtree", dtree_driver()),
-    ];
+        ("fft", fft_driver()),
+        ("spmv", spmv_driver()),
+        ("volren", volren_driver()),
+    ]
+}
+
+/// Times all seven paper applications (reduced scale) under each scheduler.
+pub fn run_apps(procs: usize) -> Vec<AppPoint> {
+    let apps = app_suite();
     let mut out = Vec::new();
     for (app, driver) in apps {
         for kind in app_scheds() {
@@ -342,7 +362,26 @@ pub fn spawn_storm_threads() -> u64 {
 /// One spawn-storm run: `threads` fork/joins in waves of 64 so the live
 /// set stays small and every exit feeds the next wave's acquires.
 fn spawn_storm_once(threads: u64, pool_cap: usize) -> SpawnPoint {
-    let cfg = Config::new(4, SchedKind::Df).with_stack_pool_cap(pool_cap);
+    spawn_storm_cfg(
+        threads,
+        Config::new(4, SchedKind::Df).with_stack_pool_cap(pool_cap),
+    )
+}
+
+/// The spawn storm with the host phase profiler *explicitly disarmed*
+/// (`with_host_profile(false)`) — the configuration every unprofiled run
+/// takes through the profiler's hot-path hooks. The overhead guard holds
+/// this to the committed pooled baseline: when off, the profiler must cost
+/// nothing but an `Option` discriminant test per hook.
+pub fn spawn_storm_profile_off() -> SpawnPoint {
+    spawn_storm_cfg(
+        spawn_storm_threads(),
+        Config::new(4, SchedKind::Df).with_host_profile(false),
+    )
+}
+
+fn spawn_storm_cfg(threads: u64, cfg: Config) -> SpawnPoint {
+    let pool_cap = cfg.stack_pool_cap;
     let start = Instant::now();
     let (_, report) = ptdf::run(cfg, move || {
         let mut done = 0u64;
@@ -452,6 +491,70 @@ pub fn remeasure_sentinel() -> SentinelPoint {
     sentinel_storm_once(sentinel_storm_joins())
 }
 
+/// One host engine phase profile: where the engine's own host time goes
+/// (event-heap, dispatch, charge batching, trace allocation, sched lock)
+/// for one workload, measured with [`ptdf::Config::with_host_profile`].
+#[derive(Debug, Clone)]
+pub struct HostPhasePoint {
+    /// Workload name ("matmul", "fft", "dtree", "join_storm").
+    pub workload: &'static str,
+    /// Scheduler the workload ran under.
+    pub sched: &'static str,
+    /// The profiled phase counters (real host nanoseconds).
+    pub phases: ptdf_smp::HostPhaseStats,
+}
+
+/// Joins in the host-phase join storm.
+fn host_phase_joins() -> u64 {
+    if quick() {
+        5_000
+    } else {
+        20_000
+    }
+}
+
+/// Profiles the engine phase breakdown over three paper apps plus a
+/// fork/join storm, tracing enabled (so the trace-alloc phase is live).
+pub fn run_host_phase(procs: usize) -> Vec<HostPhasePoint> {
+    let kind = SchedKind::Df;
+    let mut out = Vec::new();
+    let apps: [(&'static str, AppDriver); 3] = [
+        ("matmul", matmul_driver()),
+        ("fft", fft_driver()),
+        ("dtree", dtree_driver()),
+    ];
+    for (workload, driver) in apps {
+        let cfg = Config::new(procs, kind).with_trace().with_host_profile(true);
+        let report = (driver.fine)(cfg);
+        out.push(HostPhasePoint {
+            workload,
+            sched: kind.name(),
+            phases: *report.host_phase(),
+        });
+    }
+    let joins = host_phase_joins();
+    let cfg = Config::new(procs, kind).with_trace().with_host_profile(true);
+    let (_, report) = ptdf::run(cfg, move || {
+        let mut done = 0u64;
+        while done < joins {
+            let wave = 32.min(joins - done);
+            let handles: Vec<_> = (0..wave)
+                .map(|_| ptdf::spawn(|| ptdf::work(2_000)))
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            done += wave;
+        }
+    });
+    out.push(HostPhasePoint {
+        workload: "join_storm",
+        sched: kind.name(),
+        phases: *report.host_phase(),
+    });
+    out
+}
+
 fn json_f(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.1}")
@@ -466,6 +569,7 @@ pub fn to_json(
     apps: &[AppPoint],
     spawn: &[SpawnPoint],
     sentinel: &[SentinelPoint],
+    host_phase: &[HostPhasePoint],
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n  \"bench\": \"wallclock\",\n");
@@ -525,6 +629,28 @@ pub fn to_json(
             json_f(p.ns_per_join)
         );
         s.push_str(if i + 1 < sentinel.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n  \"host_phase\": [\n");
+    for (i, p) in host_phase.iter().enumerate() {
+        let total = p.phases.total_ns().max(1);
+        let _ = write!(
+            s,
+            "    {{\"workload\": \"{}\", \"sched\": \"{}\", \"total_ns\": {}",
+            p.workload,
+            p.sched,
+            p.phases.total_ns()
+        );
+        for (name, ps) in p.phases.phases() {
+            let _ = write!(
+                s,
+                ", \"{name}\": {{\"count\": {}, \"ns\": {}, \"share\": {}}}",
+                ps.count,
+                ps.ns,
+                json_f(ps.ns as f64 / total as f64 * 100.0)
+            );
+        }
+        s.push('}');
+        s.push_str(if i + 1 < host_phase.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ]\n}\n");
     s

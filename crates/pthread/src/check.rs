@@ -56,6 +56,7 @@ use std::collections::HashMap;
 
 use ptdf_smp::VirtTime;
 
+use crate::critpath::{causal_edge, CausalEdge};
 use crate::trace::{BlockReason, EventKind, Trace};
 
 /// One causality violation found in a trace.
@@ -363,13 +364,18 @@ pub fn check_trace(trace: &Trace) -> CheckReport {
     for &i in &order {
         let e = &trace.events[i];
         let Some(subject) = e.thread else { continue };
+        // The happens-before content of the event, shared with the
+        // critical-path analyzer (`critpath::analyze`): every vector-clock
+        // join below consumes a [`CausalEdge`], so the two features cannot
+        // disagree on what constitutes an ordering edge.
+        let edge = causal_edge(e);
         match e.kind {
-            EventKind::Spawn { parent } => {
+            EventKind::Spawn { .. } => {
                 if track_vcs {
-                    if let Some(p) = parent {
-                        tick(&mut vcs, p);
-                        let pvc = vcs.get(&p).cloned().unwrap_or_default();
-                        vcs.entry(subject).or_default().join(&pvc);
+                    if let Some(CausalEdge::Spawn { parent, child }) = edge {
+                        tick(&mut vcs, parent);
+                        let pvc = vcs.get(&parent).cloned().unwrap_or_default();
+                        vcs.entry(child).or_default().join(&pvc);
                     }
                     tick(&mut vcs, subject);
                 }
@@ -384,7 +390,7 @@ pub fn check_trace(trace: &Trace) -> CheckReport {
                     });
                 }
                 let mut missed_notify = None;
-                if let Some(o) = obj {
+                if let Some(CausalEdge::BlockPublish { obj: o, .. }) = edge {
                     if track_vcs {
                         let svc = vcs.entry(subject).or_default().clone();
                         // Waits-past-notify precondition: a naked notify on
@@ -416,9 +422,11 @@ pub fn check_trace(trace: &Trace) -> CheckReport {
             } => {
                 let counter = tick(&mut vcs, subject);
                 if track_vcs {
-                    let ovc = obj_vcs.entry(obj).or_default();
-                    vcs.entry(subject).or_default().join(ovc);
-                    ovc.join(vcs.get(&subject).expect("just ticked"));
+                    if let Some(CausalEdge::NotifyExchange { thread, obj }) = edge {
+                        let ovc = obj_vcs.entry(obj).or_default();
+                        vcs.entry(thread).or_default().join(ovc);
+                        ovc.join(vcs.get(&thread).expect("just ticked"));
+                    }
                 }
                 notifiers.entry(obj).or_default().push(subject);
                 if waiters > 0 && woken == 0 {
@@ -465,7 +473,7 @@ pub fn check_trace(trace: &Trace) -> CheckReport {
                             }
                         }
                         if track_vcs {
-                            if let Some(w) = waker {
+                            if let Some(CausalEdge::Wake { waker: Some(w), .. }) = edge {
                                 let wvc = vcs.get(&w).cloned().unwrap_or_default();
                                 vcs.entry(subject).or_default().join(&wvc);
                             }
@@ -476,7 +484,8 @@ pub fn check_trace(trace: &Trace) -> CheckReport {
             }
             EventKind::Timeout { obj: _ } => {
                 // A timed wait expired: the deadline heap, not a notifier,
-                // published this wake — sanctioned without a Notify edge.
+                // published this wake — sanctioned without a Notify edge
+                // (`CausalEdge::Timeout` carries no inbound ordering).
                 match pending.remove(&subject) {
                     None => violations.push(Violation::SpuriousWake {
                         thread: subject,
@@ -504,8 +513,10 @@ pub fn check_trace(trace: &Trace) -> CheckReport {
             EventKind::Join { target } => {
                 tick(&mut vcs, subject);
                 if track_vcs {
-                    let tvc = vcs.get(&target).cloned().unwrap_or_default();
-                    vcs.entry(subject).or_default().join(&tvc);
+                    if let Some(CausalEdge::Join { target, joiner }) = edge {
+                        let tvc = vcs.get(&target).cloned().unwrap_or_default();
+                        vcs.entry(joiner).or_default().join(&tvc);
+                    }
                 }
                 if let Some(lc) = trace.threads.iter().find(|t| t.thread == target) {
                     if let Some(exit) = lc.exited {

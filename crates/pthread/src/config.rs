@@ -141,6 +141,14 @@ pub struct Config {
     /// disables recycling. Cached stacks are touched memory, so the cap
     /// bounds real RSS; see `ptdf_fiber::StackPool`.
     pub stack_pool_cap: usize,
+    /// Arms the host-side engine phase profiler: monotonic counters and
+    /// host (real-time) nanosecond timers around the engine's internal
+    /// phases — deadline-heap push/pop, clock charge points, scheduler-lock
+    /// holds, policy pops, dispatch prologues, and trace-event allocation.
+    /// Results land in `RunStats::host_phase` on the [`crate::Report`]. Off
+    /// by default; when off every hook costs one `Option` discriminant test
+    /// (or one boolean), leaving the dispatch hot path unchanged.
+    pub host_profile: bool,
 }
 
 impl Config {
@@ -164,6 +172,7 @@ impl Config {
             alloc_fail_rate: None,
             space_bound: None,
             stack_pool_cap: ptdf_fiber::DEFAULT_POOL_CAP,
+            host_profile: false,
         }
     }
 
@@ -261,6 +270,13 @@ impl Config {
     /// disables stack recycling. See [`Config::stack_pool_cap`].
     pub fn with_stack_pool_cap(mut self, bytes: usize) -> Self {
         self.stack_pool_cap = bytes;
+        self
+    }
+
+    /// Arms (or explicitly disarms) the host-side engine phase profiler
+    /// (builder style). See [`Config::host_profile`].
+    pub fn with_host_profile(mut self, on: bool) -> Self {
+        self.host_profile = on;
         self
     }
 }

@@ -55,6 +55,14 @@ impl Value {
         }
     }
 
+    /// The value as a `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
     /// The value as an `f64` (any number).
     pub fn as_f64(&self) -> Option<f64> {
         match *self {

@@ -55,6 +55,7 @@ pub mod backoff;
 pub mod bench_api;
 pub mod check;
 mod config;
+pub mod critpath;
 pub mod json;
 mod mem;
 mod report;
@@ -73,6 +74,10 @@ pub use api::{
     work, yield_now, Scope, ScopedHandle, SpawnError,
 };
 pub use check::{check_trace, CheckReport, Violation};
+pub use critpath::{
+    analyze_with_makespan, causal_edge, object_waits, Blame, BlameBucket, CausalEdge, CritPath,
+    ObjectBlame, ObjectWait, Segment, ThreadBlame,
+};
 pub use config::{Attr, Config, SchedKind, DEFAULT_QUOTA, STACK_1MB, STACK_8KB};
 pub use mem::{
     rt_alloc, rt_free, try_rt_alloc, AllocError, LeakReport, ThreadLedger, TrackedBuf,
@@ -121,6 +126,47 @@ mod tests {
             assert_eq!(v, 42, "{kind:?}");
             assert!(report.total_threads >= 2);
         }
+    }
+
+    #[test]
+    fn host_profile_collects_phase_counters_when_enabled() {
+        let workload = || {
+            // A semaphore nobody posts: the timed acquire arms a deadline,
+            // exercising the machine's event-heap phases.
+            let sem = std::rc::Rc::new(Semaphore::new(0));
+            let s = sem.clone();
+            let waiter = spawn(move || {
+                s.acquire_timeout(VirtTime::from_us(50)).unwrap_err();
+            });
+            let hs: Vec<_> = (0..8).map(|_| spawn(|| ptdf::work(5_000))).collect();
+            for h in hs {
+                h.join();
+            }
+            waiter.join();
+        };
+        let (_, on) = run(
+            Config::new(2, SchedKind::Df)
+                .with_trace()
+                .with_host_profile(true),
+            workload,
+        );
+        let hp = on.host_phase();
+        assert!(hp.enabled);
+        // The engine dispatched and popped at least once per thread, and
+        // every trace record passed through the trace-alloc phase.
+        assert!(hp.dispatch.count >= 9, "dispatch {:?}", hp.dispatch);
+        assert!(hp.sched_pop.count > 0, "sched_pop {:?}", hp.sched_pop);
+        assert!(hp.trace_alloc.count > 0);
+        assert!(hp.heap_push.count > 0 && hp.heap_pop.count > 0);
+        assert!(hp.total_ns() > 0);
+        // The combined profile rides on the trace for standalone tools.
+        let tr = on.trace.as_ref().expect("traced run");
+        assert_eq!(tr.host_phase, Some(*hp));
+
+        let (_, off) = run(Config::new(2, SchedKind::Df).with_trace(), workload);
+        assert!(!off.host_phase().enabled);
+        assert_eq!(off.host_phase().total_ns(), 0);
+        assert_eq!(off.trace.as_ref().unwrap().host_phase, None);
     }
 
     #[test]

@@ -100,6 +100,24 @@ impl Report {
         self.trace.as_ref().map(|t| t.lifecycle())
     }
 
+    /// Blame-attributed observed critical path of the run, walked backwards
+    /// through the trace's causal edges; `None` unless the run traced
+    /// ([`Config::with_trace`]). The returned buckets sum bit-exactly to
+    /// [`Report::makespan`]. Degenerate traces (no spans) yield a
+    /// structured empty result, never a panic.
+    pub fn critpath(&self) -> Option<crate::critpath::CritPath> {
+        self.trace
+            .as_ref()
+            .map(|t| crate::critpath::analyze_with_makespan(t, self.stats.makespan))
+    }
+
+    /// Host-side engine phase profile; `enabled` is false (all counters
+    /// zero) unless the run was configured with
+    /// [`Config::with_host_profile`].
+    pub fn host_phase(&self) -> &ptdf_smp::HostPhaseStats {
+        &self.stats.host_phase
+    }
+
     /// Host fiber-stack pool hit rate in `[0, 1]` (`1.0` when the run
     /// spawned nothing). Hits are spawns served a recycled real stack.
     pub fn stack_pool_hit_rate(&self) -> f64 {

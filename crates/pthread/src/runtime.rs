@@ -53,6 +53,12 @@ pub(crate) struct Inner {
     /// Flight-recorder trace, when enabled. Every hook below tests this
     /// `Option`'s discriminant and nothing else when tracing is off.
     pub trace: Option<Trace>,
+    /// Runtime half of the host-phase profiler, when armed
+    /// ([`Config::with_host_profile`]): sched-pop, dispatch and trace-alloc
+    /// timings. The machine half (heap/charge/lock) lives in
+    /// [`Machine`]; both are folded into `RunStats::host_phase` at the end
+    /// of the run. One `Option` discriminant test per hook when off.
+    host_prof: Option<Box<ptdf_smp::HostPhaseStats>>,
     /// Engine-level schedule perturbation stream, when enabled
     /// ([`Config::perturb_seed`]): same-timestamp tie-breaks, wake-order
     /// shuffles, and injected preemptions all draw from this generator, so
@@ -140,6 +146,9 @@ impl Inner {
         if let Some(limit) = config.space_bound {
             machine.arm_space_bound(limit);
         }
+        if config.host_profile {
+            machine.enable_host_profile();
+        }
         static RUN_TOKEN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
         Inner {
             machine,
@@ -171,6 +180,12 @@ impl Inner {
             perturb: config
                 .perturb_seed
                 .map(|s| Prng::new(s ^ 0x0051_CED0_5EED_F00D)),
+            host_prof: config.host_profile.then(|| {
+                Box::new(ptdf_smp::HostPhaseStats {
+                    enabled: true,
+                    ..ptdf_smp::HostPhaseStats::default()
+                })
+            }),
             stack_pool: StackPool::new(config.stack_pool_cap),
             ledger: config
                 .ledger
@@ -185,6 +200,25 @@ impl Inner {
             chaos: config
                 .chaos_seed
                 .map(|s| Prng::new(s ^ 0xC4A0_5F00_D5EE_D001)),
+        }
+    }
+
+    /// Opens a host-phase timing window iff the profiler is armed
+    /// ([`Config::with_host_profile`]); one `Option` discriminant test and
+    /// no clock read when off.
+    fn prof_start(&self) -> Option<std::time::Instant> {
+        self.host_prof.is_some().then(std::time::Instant::now)
+    }
+
+    /// Closes a window opened by [`Inner::prof_start`] into one phase of
+    /// the runtime half of the profile.
+    fn prof_close(
+        &mut self,
+        t0: Option<std::time::Instant>,
+        phase: fn(&mut ptdf_smp::HostPhaseStats) -> &mut ptdf_smp::PhaseStat,
+    ) {
+        if let (Some(t0), Some(hp)) = (t0, self.host_prof.as_deref_mut()) {
+            phase(hp).record(t0);
         }
     }
 
@@ -362,7 +396,9 @@ impl Inner {
                 .map(|par| self.threads[par.index()].attr.priority == prio)
                 .unwrap_or(false);
         let now = self.machine.clock(on_proc);
-        if let Some(tr) = self.trace.as_mut() {
+        if self.trace.is_some() {
+            let t0 = self.prof_start();
+            let tr = self.trace.as_mut().expect("checked");
             tr.event(
                 now,
                 on_proc,
@@ -371,6 +407,7 @@ impl Inner {
                     parent: parent.map(|t| t.0),
                 },
             );
+            self.prof_close(t0, |hp| &mut hp.trace_alloc);
         }
         self.sched_op(on_proc);
         self.policy
@@ -432,8 +469,11 @@ impl Inner {
         self.threads[t.index()].wait = None;
         self.threads[t.index()].deadline = None;
         let waker = self.cur.map(|(w, _)| w.0);
-        if let Some(tr) = self.trace.as_mut() {
+        if self.trace.is_some() {
+            let t0 = self.prof_start();
+            let tr = self.trace.as_mut().expect("checked");
             tr.event(now, p, Some(t.0), EventKind::Wake { waker });
+            self.prof_close(t0, |hp| &mut hp.trace_alloc);
         }
         self.sched_op(p);
         self.policy.on_ready(t, prio, now, p, affinity);
@@ -460,8 +500,11 @@ impl Inner {
             obj,
             target,
         });
-        if let Some(tr) = self.trace.as_mut() {
+        if self.trace.is_some() {
+            let t0 = self.prof_start();
+            let tr = self.trace.as_mut().expect("checked");
             tr.event(now, p, Some(tid.0), EventKind::Block { reason, obj });
+            self.prof_close(t0, |hp| &mut hp.trace_alloc);
         }
         self.policy.on_block(tid);
         self.sched_op(p);
@@ -864,8 +907,11 @@ impl Inner {
             tcb.wait = None;
             (tcb.attr.priority, tcb.last_proc, obj)
         };
-        if let Some(tr) = self.trace.as_mut() {
+        if self.trace.is_some() {
+            let t0 = self.prof_start();
+            let tr = self.trace.as_mut().expect("checked");
             tr.event(now, p, Some(t.0), EventKind::Timeout { obj });
+            self.prof_close(t0, |hp| &mut hp.trace_alloc);
         }
         self.sched_op(p);
         self.policy.on_ready(t, prio, now, p, affinity);
@@ -1008,6 +1054,17 @@ pub fn try_run<T: 'static>(
     stats.mem.host_stack_hits = pool.hits;
     stats.mem.host_stack_misses = pool.misses;
     stats.mem.host_stack_cached_hwm = pool.cached_bytes_hwm;
+    // Fold the runtime half of the host phase profile (dispatch, sched-pop,
+    // trace-alloc) into the machine half already in `stats`, then stamp the
+    // combined profile onto the trace so standalone trace tools can report it.
+    if let Some(hp) = inner.host_prof.take() {
+        stats.host_phase.absorb(&hp);
+    }
+    if stats.host_phase.enabled {
+        if let Some(tr) = trace.as_mut() {
+            tr.host_phase = Some(stats.host_phase);
+        }
+    }
     let leaks = inner
         .ledger
         .take()
@@ -1241,7 +1298,10 @@ fn engine_loop(inner_rc: &Rc<RefCell<Inner>>) -> Option<StallInfo> {
         } else {
             inner.sched_op(p);
             let now = inner.machine.clock(p);
-            match inner.policy.pop(p, now) {
+            let t0 = inner.prof_start();
+            let popped = inner.policy.pop(p, now);
+            inner.prof_close(t0, |hp| &mut hp.sched_pop);
+            match popped {
                 Pop::Got { tid, stolen } => {
                     if stolen {
                         // Migration: pay an extra switch for the cold start.
@@ -1327,7 +1387,9 @@ fn engine_loop(inner_rc: &Rc<RefCell<Inner>>) -> Option<StallInfo> {
             // Cost-free continuation of a time-sliced fiber.
             inner.cur = Some((tid, p));
         } else {
+            let t0 = inner.prof_start();
             inner.dispatch_prologue(tid, p);
+            inner.prof_close(t0, |hp| &mut hp.dispatch);
         }
         let span_start = inner.machine.clock(p);
         let span_kind = if ts_resume {
@@ -1349,8 +1411,11 @@ fn engine_loop(inner_rc: &Rc<RefCell<Inner>>) -> Option<StallInfo> {
             inner.machine.compute(p, 100);
             inner.finish_thread(tid, p);
             let end = inner.machine.clock(p);
-            if let Some(tr) = inner.trace.as_mut() {
+            if inner.trace.is_some() {
+                let t0 = inner.prof_start();
+                let tr = inner.trace.as_mut().expect("checked");
                 tr.record(p, tid, span_start, end, span_kind);
+                inner.prof_close(t0, |hp| &mut hp.trace_alloc);
             }
             continue;
         }
@@ -1376,8 +1441,11 @@ fn engine_loop(inner_rc: &Rc<RefCell<Inner>>) -> Option<StallInfo> {
             }
         }
         let end = inner.machine.clock(p);
-        if let Some(tr) = inner.trace.as_mut() {
+        if inner.trace.is_some() {
+            let t0 = inner.prof_start();
+            let tr = inner.trace.as_mut().expect("checked");
             tr.record(p, tid, span_start, end, span_kind);
+            inner.prof_close(t0, |hp| &mut hp.trace_alloc);
         }
     }
 }

@@ -28,7 +28,7 @@
 
 use crate::json::{obj, Value};
 use crate::thread::ThreadId;
-use ptdf_smp::{MachineRecording, MemEventKind, ProcId, VirtTime};
+use ptdf_smp::{HostPhaseStats, MachineRecording, MemEventKind, PhaseStat, ProcId, VirtTime};
 
 /// What a trace span represents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
@@ -76,7 +76,7 @@ pub struct Span {
 }
 
 /// Which primitive a thread blocked on (the "reason" of a block event).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
 pub enum BlockReason {
     /// `JoinHandle::join` on a still-running thread.
     Join,
@@ -361,6 +361,10 @@ pub struct Trace {
     pub counters: Counters,
     /// Per-thread lifecycle records, indexed by thread id.
     pub threads: Vec<ThreadLifecycle>,
+    /// Host-side engine phase profile, when the run was profiled
+    /// ([`crate::Config::with_host_profile`]); rides along so trace tools
+    /// can report it standalone.
+    pub host_phase: Option<HostPhaseStats>,
 }
 
 /// Percentiles and a log₂ histogram over one latency population.
@@ -697,6 +701,68 @@ impl Trace {
     /// (timestamps in microseconds). Exact nanosecond values ride in
     /// `args`, making [`Trace::from_chrome_json`] lossless.
     pub fn to_chrome_json(&self) -> String {
+        self.chrome_doc(self.chrome_records()).to_json()
+    }
+
+    /// Serializes like [`Trace::to_chrome_json`], additionally rendering an
+    /// analyzed critical path ([`crate::critpath::CritPath`]) as a dedicated
+    /// Perfetto track: the path's segments become `"ph":"X"` durations on
+    /// `pid` 1 (the base trace uses `pid` 0), named by blame bucket, so the
+    /// realized critical path reads as one swim-lane above the
+    /// per-processor lanes. [`Trace::from_chrome_json`] ignores the extra
+    /// track (any record with a nonzero `pid`), so the round trip of the
+    /// base trace still holds.
+    pub fn to_chrome_json_with_critpath(&self, cp: &crate::critpath::CritPath) -> String {
+        let us = |t: VirtTime| Value::Float(t.as_ns() as f64 / 1e3);
+        let mut records = self.chrome_records();
+        records.push(obj(vec![
+            ("name", Value::Str("process_name".into())),
+            ("ph", Value::Str("M".into())),
+            ("pid", Value::UInt(1)),
+            ("args", obj(vec![("name", Value::Str("critical path".into()))])),
+        ]));
+        records.push(obj(vec![
+            ("name", Value::Str("thread_name".into())),
+            ("ph", Value::Str("M".into())),
+            ("pid", Value::UInt(1)),
+            ("tid", Value::UInt(0)),
+            ("args", obj(vec![("name", Value::Str("blame".into()))])),
+        ]));
+        for seg in &cp.segments {
+            let name = match seg.bucket {
+                crate::critpath::BlameBucket::LockWait { reason, obj } => match obj {
+                    Some(o) => format!("lock-wait {}#{o}", reason.name()),
+                    None => format!("lock-wait {}", reason.name()),
+                },
+                other => other.name().to_string(),
+            };
+            records.push(obj(vec![
+                ("name", Value::Str(name)),
+                ("ph", Value::Str("X".into())),
+                ("cat", Value::Str("critpath".into())),
+                ("pid", Value::UInt(1)),
+                ("tid", Value::UInt(0)),
+                ("ts", us(seg.start)),
+                ("dur", us(seg.end.since(seg.start))),
+                (
+                    "args",
+                    obj(vec![
+                        (
+                            "thread",
+                            seg.thread.map_or(Value::Null, |t| Value::UInt(t as u64)),
+                        ),
+                        ("bucket", Value::Str(seg.bucket.name().into())),
+                        ("startNs", Value::UInt(seg.start.as_ns())),
+                        ("endNs", Value::UInt(seg.end.as_ns())),
+                    ]),
+                ),
+            ]));
+        }
+        self.chrome_doc(records).to_json()
+    }
+
+    /// Builds the per-span/event/counter records shared by both exporters.
+    fn chrome_records(&self) -> Vec<Value> {
         let us = |t: VirtTime| Value::Float(t.as_ns() as f64 / 1e3);
         let mut records = Vec::new();
         for s in &self.spans {
@@ -813,6 +879,29 @@ impl Trace {
                 ]));
             }
         }
+        records
+    }
+
+    /// Wraps the record array into the Chrome trace-event document, carrying
+    /// the config echo (and the host-phase profile, when present) in
+    /// `otherData`.
+    fn chrome_doc(&self, records: Vec<Value>) -> Value {
+        let host_phase = match &self.host_phase {
+            None => Value::Null,
+            Some(hp) => {
+                let mut members = vec![("enabled", Value::Bool(hp.enabled))];
+                let phase = |p: PhaseStat| {
+                    obj(vec![
+                        ("count", Value::UInt(p.count)),
+                        ("ns", Value::UInt(p.ns)),
+                    ])
+                };
+                for (name, p) in hp.phases() {
+                    members.push((name, phase(p)));
+                }
+                obj(members)
+            }
+        };
         let threads = self
             .threads
             .iter()
@@ -854,11 +943,11 @@ impl Trace {
                         "chaosSeed",
                         self.meta.chaos_seed.map_or(Value::Null, Value::UInt),
                     ),
+                    ("hostPhase", host_phase),
                 ]),
             ),
             ("ptdfThreads", Value::Arr(threads)),
         ])
-        .to_json()
     }
 
     /// Parses a trace back from [`Trace::to_chrome_json`] output. Exact:
@@ -885,12 +974,40 @@ impl Trace {
                 perturb_seed: meta.get("perturbSeed").and_then(Value::as_u64),
                 chaos_seed: meta.get("chaosSeed").and_then(Value::as_u64),
             };
+            if let Some(hp) = meta.get("hostPhase") {
+                if hp.get("enabled").is_some() {
+                    let mut stats = HostPhaseStats {
+                        enabled: hp.get("enabled").and_then(Value::as_bool).unwrap_or(false),
+                        ..HostPhaseStats::default()
+                    };
+                    for (name, slot) in [
+                        ("heap_push", &mut stats.heap_push),
+                        ("heap_pop", &mut stats.heap_pop),
+                        ("charge", &mut stats.charge),
+                        ("sched_lock", &mut stats.sched_lock),
+                        ("sched_pop", &mut stats.sched_pop),
+                        ("dispatch", &mut stats.dispatch),
+                        ("trace_alloc", &mut stats.trace_alloc),
+                    ] {
+                        if let Some(p) = hp.get(name) {
+                            slot.count = p.get("count").and_then(Value::as_u64).unwrap_or(0);
+                            slot.ns = p.get("ns").and_then(Value::as_u64).unwrap_or(0);
+                        }
+                    }
+                    trace.host_phase = Some(stats);
+                }
+            }
         }
         let records = doc
             .get("traceEvents")
             .and_then(Value::as_arr)
             .ok_or("missing traceEvents array")?;
         for r in records {
+            // Auxiliary tracks (the critical-path lane, metadata records)
+            // live on nonzero pids; the recorded trace itself is pid 0.
+            if r.get("pid").and_then(Value::as_u64).unwrap_or(0) != 0 {
+                continue;
+            }
             let ph = r.get("ph").and_then(Value::as_str).ok_or("record without ph")?;
             let name = r.get("name").and_then(Value::as_str).unwrap_or("");
             let args = r.get("args");
@@ -1070,6 +1187,38 @@ mod tests {
         assert!(doc.get("traceEvents").is_some());
         // Lossless round trip.
         let back = Trace::from_chrome_json(&json).expect("parse back");
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn chrome_json_round_trips_host_phase_and_skips_critpath_track() {
+        let cfg = Config::new(2, SchedKind::Df).with_trace();
+        let (_, report) = run(cfg, || {
+            scope(|s| {
+                for i in 0..6 {
+                    s.spawn(move || crate::work(1000 * (i + 1)));
+                }
+            })
+        });
+        let mut trace = report.trace.unwrap();
+        let mut hp = HostPhaseStats {
+            enabled: true,
+            ..HostPhaseStats::default()
+        };
+        hp.heap_push.count = 3;
+        hp.heap_push.ns = 1234;
+        hp.dispatch.count = 17;
+        hp.dispatch.ns = 98765;
+        trace.host_phase = Some(hp);
+        let back = Trace::from_chrome_json(&trace.to_chrome_json()).expect("parse back");
+        assert_eq!(back, trace, "hostPhase must survive the round trip");
+        // The merged critical-path export parses back to the same base
+        // trace: the extra pid-1 lane is skipped on import.
+        let cp = crate::critpath::analyze(&trace);
+        assert!(!cp.segments.is_empty());
+        let merged = trace.to_chrome_json_with_critpath(&cp);
+        assert!(merged.contains("\"critpath\""));
+        let back = Trace::from_chrome_json(&merged).expect("parse merged");
         assert_eq!(back, trace);
     }
 

@@ -6,7 +6,7 @@ use crate::cost::CostModel;
 use crate::heap::{HeapModel, StackPool};
 use crate::perturb::Prng;
 use crate::record::{MachineRecording, MemEventKind, Recorder};
-use crate::stats::{Bucket, MemStats, ProcStats, RunStats};
+use crate::stats::{Bucket, HostPhaseStats, MemStats, ProcStats, RunStats};
 use crate::time::VirtTime;
 use crate::vlock::VirtualLock;
 use std::cmp::Reverse;
@@ -57,6 +57,10 @@ pub struct Machine {
     /// Schedule perturbation, when enabled (see
     /// [`Machine::enable_perturbation`]).
     perturb: Option<Prng>,
+    /// Host-side phase profiler, when enabled (see
+    /// [`Machine::enable_host_profile`]). Mirrors the recorder's gating:
+    /// every hook is one `Option` discriminant test when off.
+    host_prof: Option<Box<HostPhaseStats>>,
     /// Per-processor deadline heaps for timed waits: `(fire time, token)`
     /// min-heaps. The machine only stores and orders deadlines; arming,
     /// firing and staleness policy all live in the driving runtime (tokens
@@ -100,6 +104,7 @@ impl Machine {
             bound_violations: 0,
             recorder: None,
             perturb: None,
+            host_prof: None,
             deadlines: (0..p).map(|_| BinaryHeap::new()).collect(),
         }
     }
@@ -108,7 +113,11 @@ impl Machine {
     /// runtime identifier, typically a thread id) becomes due once `p`'s
     /// clock reaches `at`. Costs nothing in virtual time.
     pub fn arm_deadline(&mut self, p: ProcId, at: VirtTime, token: u64) {
+        let t0 = self.host_prof.is_some().then(std::time::Instant::now);
         self.deadlines[p].push(Reverse((at, token)));
+        if let Some(t0) = t0 {
+            self.host_prof.as_deref_mut().expect("checked").heap_push.record(t0);
+        }
     }
 
     /// The earliest armed deadline on processor `p`, if any. Entries are
@@ -121,7 +130,12 @@ impl Machine {
 
     /// Removes and returns the earliest armed deadline on processor `p`.
     pub fn pop_deadline(&mut self, p: ProcId) -> Option<(VirtTime, u64)> {
-        self.deadlines[p].pop().map(|Reverse(e)| e)
+        let t0 = self.host_prof.is_some().then(std::time::Instant::now);
+        let out = self.deadlines[p].pop().map(|Reverse(e)| e);
+        if let Some(t0) = t0 {
+            self.host_prof.as_deref_mut().expect("checked").heap_pop.record(t0);
+        }
+        out
     }
 
     /// Whether any processor has an armed deadline outstanding.
@@ -201,6 +215,23 @@ impl Machine {
         self.recorder.take().map(|r| r.rec)
     }
 
+    /// Arms the host-side phase profiler: monotonic counters and host
+    /// (real-time) nanosecond timers around the machine's engine phases —
+    /// deadline-heap push/pop, clock charge points, and scheduler-lock
+    /// holds. Off by default; when off every hook costs one `Option`
+    /// discriminant test, keeping the dispatch hot path unchanged.
+    pub fn enable_host_profile(&mut self) {
+        self.host_prof = Some(Box::new(HostPhaseStats {
+            enabled: true,
+            ..HostPhaseStats::default()
+        }));
+    }
+
+    /// Whether the host-phase profiler is armed.
+    pub fn host_profiled(&self) -> bool {
+        self.host_prof.is_some()
+    }
+
     /// Number of processors.
     pub fn processors(&self) -> usize {
         self.procs.len()
@@ -218,8 +249,12 @@ impl Machine {
 
     /// Advances processor `p`'s clock by `dur`, accounted to `bucket`.
     pub fn charge(&mut self, p: ProcId, bucket: Bucket, dur: VirtTime) {
+        let t0 = self.host_prof.is_some().then(std::time::Instant::now);
         self.procs[p].clock += dur;
         self.procs[p].stats.breakdown.add(bucket, dur);
+        if let Some(t0) = t0 {
+            self.host_prof.as_deref_mut().expect("checked").charge.record(t0);
+        }
     }
 
     /// Advances processor `p`'s clock *to* `t` (idling if `t` is in the
@@ -239,6 +274,7 @@ impl Machine {
     /// Acquires the global scheduler lock at `p`'s current clock, holding it
     /// for one critical section; charges contention wait and CS time.
     pub fn sched_lock(&mut self, p: ProcId) {
+        let t0 = self.host_prof.is_some().then(std::time::Instant::now);
         let now = self.procs[p].clock;
         let hold = self.cost.sched_cs;
         let (wait, release) = match self.perturb.as_mut() {
@@ -256,6 +292,9 @@ impl Machine {
             }
         }
         self.maybe_prune();
+        if let Some(t0) = t0 {
+            self.host_prof.as_deref_mut().expect("checked").sched_lock.record(t0);
+        }
     }
 
     /// Bounds the virtual locks' interval memory: drop holds wholly before
@@ -504,6 +543,7 @@ impl Machine {
             },
             sched_lock_acquisitions: lock_acq,
             sched_lock_wait: lock_wait,
+            host_phase: self.host_prof.map(|b| *b).unwrap_or_default(),
         }
     }
 }
@@ -719,6 +759,35 @@ mod tests {
         m.arm_deadline(0, VirtTime::from_ns(100), 2);
         assert_eq!(m.pop_deadline(0), Some((VirtTime::from_ns(100), 2)));
         assert_eq!(m.pop_deadline(0), Some((VirtTime::from_ns(100), 7)));
+    }
+
+    #[test]
+    fn host_profile_counts_phases_and_is_zero_when_off() {
+        let mut m = machine(2);
+        m.enable_host_profile();
+        assert!(m.host_profiled());
+        m.arm_deadline(0, VirtTime::from_us(10), 1);
+        m.arm_deadline(0, VirtTime::from_us(20), 2);
+        let _ = m.pop_deadline(0);
+        m.compute(0, 1000);
+        m.sched_lock(0);
+        let stats = m.finish();
+        let hp = stats.host_phase;
+        assert!(hp.enabled);
+        assert_eq!(hp.heap_push.count, 2);
+        assert_eq!(hp.heap_pop.count, 1);
+        assert_eq!(hp.sched_lock.count, 1);
+        // compute + the sched-lock wait/CS charges + finish's idle alignment.
+        assert!(hp.charge.count >= 3, "charges seen: {}", hp.charge.count);
+        assert!(hp.total_ns() > 0, "timers must accumulate real time");
+
+        let mut off = machine(1);
+        off.compute(0, 1000);
+        off.sched_lock(0);
+        let stats = off.finish();
+        assert!(!stats.host_phase.enabled);
+        assert_eq!(stats.host_phase.total_ns(), 0);
+        assert_eq!(stats.host_phase.charge.count, 0);
     }
 
     #[test]

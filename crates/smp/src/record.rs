@@ -12,7 +12,10 @@
 //! run and merges it into its own trace (`ptdf::Trace`).
 //!
 //! Recording is off by default and costs one `Option` discriminant test per
-//! hook when disabled.
+//! hook when disabled. The host-phase profiler
+//! ([`crate::Machine::enable_host_profile`], results in
+//! [`crate::HostPhaseStats`]) uses the same gating idiom for its host-time
+//! counters around the machine's engine phases.
 
 use crate::time::VirtTime;
 use crate::ProcId;

@@ -154,6 +154,106 @@ pub struct MemStats {
     pub host_stack_cached_hwm: u64,
 }
 
+/// One engine phase's monotonic counter and accumulated *host* (real)
+/// nanoseconds, as sampled by the host-phase profiler.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct PhaseStat {
+    /// Times the phase ran.
+    pub count: u64,
+    /// Total host nanoseconds spent in the phase.
+    pub ns: u64,
+}
+
+impl PhaseStat {
+    /// Closes one timed phase entry opened at `start`.
+    pub fn record(&mut self, start: std::time::Instant) {
+        self.count += 1;
+        self.ns += start.elapsed().as_nanos() as u64;
+    }
+
+    /// Mean host nanoseconds per occurrence (`0.0` when the phase never ran).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// Host-side phase profile of the discrete-event engine: where the *real*
+/// (wall-clock) time of the single driving host thread goes, phase by
+/// phase. All zeros unless profiling was enabled for the run (see
+/// `Config::with_host_profile` in the threads runtime) — the hooks cost one
+/// `Option` discriminant test each when off.
+///
+/// Phases can nest (e.g. `sched_lock` charges clocks internally, so its
+/// window contains `charge` windows): the per-phase totals are honest
+/// wall-time of each instrumented window, not a disjoint partition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct HostPhaseStats {
+    /// Whether the profiler was armed for this run.
+    pub enabled: bool,
+    /// Deadline event-heap pushes ([`crate::Machine::arm_deadline`]).
+    pub heap_push: PhaseStat,
+    /// Deadline event-heap pops ([`crate::Machine::pop_deadline`]).
+    pub heap_pop: PhaseStat,
+    /// Clock charge points ([`crate::Machine::charge`] — every virtual-time
+    /// advance batched into a breakdown bucket).
+    pub charge: PhaseStat,
+    /// Scheduler-lock acquisitions, wait/CS accounting included
+    /// ([`crate::Machine::sched_lock`] hold, entry to release).
+    pub sched_lock: PhaseStat,
+    /// Ready-queue pops: the engine asking its policy for the next thread.
+    /// Filled in by the threads runtime.
+    pub sched_pop: PhaseStat,
+    /// Dispatch prologues (context-switch bookkeeping between a successful
+    /// pop and the fiber resuming). Filled in by the threads runtime.
+    pub dispatch: PhaseStat,
+    /// Flight-recorder event and span allocations. Filled in by the threads
+    /// runtime.
+    pub trace_alloc: PhaseStat,
+}
+
+impl HostPhaseStats {
+    /// Folds another profile into this one (used to merge the machine-side
+    /// and runtime-side halves of the engine profile).
+    pub fn absorb(&mut self, other: &HostPhaseStats) {
+        self.enabled |= other.enabled;
+        for (a, b) in [
+            (&mut self.heap_push, &other.heap_push),
+            (&mut self.heap_pop, &other.heap_pop),
+            (&mut self.charge, &other.charge),
+            (&mut self.sched_lock, &other.sched_lock),
+            (&mut self.sched_pop, &other.sched_pop),
+            (&mut self.dispatch, &other.dispatch),
+            (&mut self.trace_alloc, &other.trace_alloc),
+        ] {
+            a.count += b.count;
+            a.ns += b.ns;
+        }
+    }
+
+    /// Named view of every phase, in display order.
+    pub fn phases(&self) -> [(&'static str, PhaseStat); 7] {
+        [
+            ("heap_push", self.heap_push),
+            ("heap_pop", self.heap_pop),
+            ("charge", self.charge),
+            ("sched_lock", self.sched_lock),
+            ("sched_pop", self.sched_pop),
+            ("dispatch", self.dispatch),
+            ("trace_alloc", self.trace_alloc),
+        ]
+    }
+
+    /// Total instrumented host nanoseconds across all phases (windows can
+    /// nest, so this can exceed the disjoint wall time of the engine loop).
+    pub fn total_ns(&self) -> u64 {
+        self.phases().iter().map(|(_, p)| p.ns).sum()
+    }
+}
+
 /// Complete result of one virtual-SMP run.
 #[derive(Debug, Clone, Default, serde::Serialize)]
 pub struct RunStats {
@@ -169,6 +269,8 @@ pub struct RunStats {
     pub sched_lock_acquisitions: u64,
     /// Total time all processors spent waiting on the scheduler lock.
     pub sched_lock_wait: VirtTime,
+    /// Host-side engine phase profile (all zeros unless armed).
+    pub host_phase: HostPhaseStats,
 }
 
 impl RunStats {

@@ -3,11 +3,23 @@
 //! The runtime's flight recorder ([`ptdf::Trace`], enabled with
 //! [`ptdf::Config::with_trace`]) exports Chrome/Perfetto trace-event JSON.
 //! This tool reads those files back (they round-trip losslessly through
-//! `Trace::from_chrome_json`) and offers five subcommands:
+//! `Trace::from_chrome_json`) and offers six subcommands:
 //!
 //! * `summarize <trace.json>` — configuration echo, span/event tallies,
-//!   counter-track maxima, and per-thread lifecycle percentiles
-//!   (spawn→first-dispatch latency, ready-wait).
+//!   counter-track maxima, per-thread lifecycle percentiles
+//!   (spawn→first-dispatch latency, ready-wait), per-object blocked time
+//!   (top waits by cumulative duration), and — when the run was profiled
+//!   with [`ptdf::Config::with_host_profile`] — the host engine phase
+//!   table (heap/dispatch/trace-alloc counts and real-nanosecond shares).
+//! * `critpath <trace.json> [--top N] [--json] [--perfetto OUT]` — walk
+//!   the observed critical path backwards through the trace's causal
+//!   edges ([`ptdf::analyze_with_makespan`]) and report blame buckets
+//!   (compute, ready-wait, lock contention per sync object, join wait,
+//!   preemption, residual) as percentages of the makespan, naming the
+//!   dominant bucket and the top-N blamed objects and threads. The
+//!   buckets sum bit-exactly to the makespan — the tool re-verifies this
+//!   and exits 1 on a mismatch. `--perfetto` re-exports the trace with
+//!   the path overlaid as a dedicated track (pid 1).
 //! * `validate <trace.json> [--s1 B] [--depth B] [--factor F]` — structural
 //!   checks (span overlap, event ordering, counter monotonicity, lifecycle
 //!   consistency) plus an optional space-bound audit against the paper's
@@ -42,6 +54,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("summarize") => cmd_summarize(&args[1..]),
+        Some("critpath") => cmd_critpath(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("audit") => cmd_audit(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
@@ -66,8 +79,17 @@ usage: ptdf-trace <command> [args]
 
 commands:
   summarize <trace.json>
-      Print configuration, span/event tallies, counter maxima, and
-      per-thread lifecycle percentiles.
+      Print configuration, span/event tallies, counter maxima,
+      per-thread lifecycle percentiles, per-object blocked time, and
+      the host engine phase profile when the run recorded one.
+  critpath <trace.json> [--top N] [--json] [--perfetto OUT]
+      Blame-attributed observed critical path: per-bucket shares of
+      the makespan (compute, ready-wait, lock-wait, join-wait,
+      preempt, residual), the dominant bucket, and the top-N blamed
+      sync objects and threads. --json emits the full path as JSON;
+      --perfetto writes a Chrome/Perfetto file with the path overlaid
+      as its own track. Exits 1 if the buckets fail to tile the
+      makespan exactly.
   validate <trace.json> [--s1 BYTES] [--depth BYTES] [--factor F]
       Structural validation; with --s1 and --depth also audits the
       footprint high-water mark against S1 + factor * p * depth
@@ -195,11 +217,243 @@ fn summarize(trace: &Trace) -> String {
         lc.ready_wait.max,
         lc.ready_wait.count
     );
+
+    // Per-object blocked time: every Block..Wake/Timeout pairing in the
+    // trace, aggregated per sync object, heaviest first.
+    let waits = ptdf::object_waits(trace);
+    if !waits.is_empty() {
+        let shown = waits.len().min(5);
+        let _ = writeln!(out, "blocked time by object (top {shown} of {})", waits.len());
+        for w in waits.iter().take(shown) {
+            let _ = writeln!(
+                out,
+                "  {:<10} #{:<4} total {} over {} wait(s), max {}",
+                w.reason.name(),
+                w.obj,
+                w.total,
+                w.waits,
+                w.max
+            );
+        }
+    }
+
+    // Host engine phase profile, when the run carried one
+    // (Config::with_host_profile). These are real host nanoseconds, not
+    // virtual time.
+    if let Some(hp) = &trace.host_phase {
+        let total = hp.total_ns().max(1);
+        let _ = writeln!(out, "host phases (profiled, {} ns total)", hp.total_ns());
+        for (name, ps) in hp.phases() {
+            let _ = writeln!(
+                out,
+                "  {name:<12} {:>9} calls  {:>12} ns ({:>5.1}%)  mean {:.0} ns",
+                ps.count,
+                ps.ns,
+                ps.ns as f64 * 100.0 / total as f64,
+                ps.mean_ns()
+            );
+        }
+    }
     out
 }
 
 fn track_max(track: &[(VirtTime, u64)]) -> u64 {
     track.iter().map(|&(_, v)| v).max().unwrap_or(0)
+}
+
+// ---------------------------------------------------------------------------
+// critpath
+// ---------------------------------------------------------------------------
+
+fn cmd_critpath(args: &[String]) -> Result<ExitCode, String> {
+    let mut path = None;
+    let mut top = 5usize;
+    let mut json = false;
+    let mut perfetto = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--top" => {
+                top = it
+                    .next()
+                    .ok_or("--top expects a value")?
+                    .parse()
+                    .map_err(|e| format!("--top: {e}"))?
+            }
+            "--json" => json = true,
+            "--perfetto" => {
+                perfetto = Some(
+                    it.next()
+                        .ok_or("--perfetto expects an output path")?
+                        .to_string(),
+                )
+            }
+            other if path.is_none() && !other.starts_with("--") => {
+                path = Some(other.to_string())
+            }
+            other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
+        }
+    }
+    let path = path.ok_or_else(|| format!("critpath expects a trace file\n{USAGE}"))?;
+    let trace = load(&path)?;
+    let cp = ptdf::critpath::analyze(&trace);
+
+    // The analyzer's contract: buckets tile [0, makespan] bit-exactly. A
+    // mismatch means a corrupt trace (or an analyzer bug) — fail loudly.
+    if cp.blame.sum() != cp.makespan {
+        eprintln!(
+            "{path}: blame buckets sum to {} but the makespan is {} — trace is \
+             inconsistent",
+            cp.blame.sum(),
+            cp.makespan
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+
+    if let Some(out_path) = &perfetto {
+        let doc = trace.to_chrome_json_with_critpath(&cp);
+        std::fs::write(out_path, doc).map_err(|e| format!("{out_path}: {e}"))?;
+        eprintln!("wrote critical-path overlay to {out_path}");
+    }
+
+    if json {
+        println!("{}", critpath_json(&cp).to_json());
+    } else {
+        print!("{}", render_critpath(&path, &cp, top));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Renders the human-readable blame report for one trace's critical path.
+fn render_critpath(path: &str, cp: &ptdf::CritPath, top: usize) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    if cp.empty {
+        let _ = writeln!(out, "{path}: empty trace (no spans); makespan {}", cp.makespan);
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "{path}: makespan {} over {} path segment(s)",
+        cp.makespan,
+        cp.segments.len()
+    );
+    let total = cp.makespan.as_ns().max(1);
+    for (name, v) in cp.blame.named() {
+        let _ = writeln!(
+            out,
+            "  {name:<11} {:>6.2}%  {v}",
+            v.as_ns() as f64 * 100.0 / total as f64
+        );
+    }
+    let (dom, dv) = cp.blame.dominant();
+    let _ = writeln!(
+        out,
+        "dominant: {dom} ({:.2}% of makespan)",
+        dv.as_ns() as f64 * 100.0 / total as f64
+    );
+
+    if !cp.objects.is_empty() {
+        let shown = cp.objects.len().min(top);
+        let _ = writeln!(out, "blamed objects (top {shown} of {})", cp.objects.len());
+        for o in cp.objects.iter().take(shown) {
+            let id = o.obj.map(|o| format!("#{o}")).unwrap_or_else(|| "-".into());
+            let _ = writeln!(
+                out,
+                "  {:<10} {id:<5} {} on path over {} segment(s)",
+                o.reason.name(),
+                o.wait,
+                o.segments
+            );
+        }
+    }
+    if !cp.threads.is_empty() {
+        let shown = cp.threads.len().min(top);
+        let _ = writeln!(out, "on-path threads (top {shown} of {})", cp.threads.len());
+        for t in cp.threads.iter().take(shown) {
+            let _ = writeln!(
+                out,
+                "  t{:<5} {} on path ({} compute) over {} segment(s)",
+                t.thread, t.on_path, t.compute, t.segments
+            );
+        }
+    }
+    out
+}
+
+/// Builds the machine-readable form of a critical path.
+fn critpath_json(cp: &ptdf::CritPath) -> ptdf::json::Value {
+    use ptdf::json::{obj, Value};
+    let blame = obj(cp
+        .blame
+        .named()
+        .iter()
+        .map(|&(n, v)| (n, Value::UInt(v.as_ns())))
+        .collect());
+    let segments = Value::Arr(
+        cp.segments
+            .iter()
+            .map(|s| {
+                let mut members = vec![
+                    (
+                        "thread",
+                        s.thread.map(|t| Value::UInt(t as u64)).unwrap_or(Value::Null),
+                    ),
+                    ("startNs", Value::UInt(s.start.as_ns())),
+                    ("endNs", Value::UInt(s.end.as_ns())),
+                    ("bucket", Value::Str(s.bucket.name().to_string())),
+                ];
+                if let ptdf::BlameBucket::LockWait { reason, obj: o } = s.bucket {
+                    members.push(("reason", Value::Str(reason.name().to_string())));
+                    if let Some(o) = o {
+                        members.push(("obj", Value::UInt(o as u64)));
+                    }
+                }
+                obj(members)
+            })
+            .collect(),
+    );
+    let objects = Value::Arr(
+        cp.objects
+            .iter()
+            .map(|o| {
+                obj(vec![
+                    ("reason", Value::Str(o.reason.name().to_string())),
+                    (
+                        "obj",
+                        o.obj.map(|o| Value::UInt(o as u64)).unwrap_or(Value::Null),
+                    ),
+                    ("waitNs", Value::UInt(o.wait.as_ns())),
+                    ("segments", Value::UInt(o.segments)),
+                ])
+            })
+            .collect(),
+    );
+    let threads = Value::Arr(
+        cp.threads
+            .iter()
+            .map(|t| {
+                obj(vec![
+                    ("thread", Value::UInt(t.thread as u64)),
+                    ("onPathNs", Value::UInt(t.on_path.as_ns())),
+                    ("computeNs", Value::UInt(t.compute.as_ns())),
+                    ("segments", Value::UInt(t.segments)),
+                ])
+            })
+            .collect(),
+    );
+    obj(vec![
+        ("empty", Value::Bool(cp.empty)),
+        ("makespanNs", Value::UInt(cp.makespan.as_ns())),
+        ("blameNs", blame),
+        (
+            "dominant",
+            Value::Str(cp.blame.dominant().0.to_string()),
+        ),
+        ("segments", segments),
+        ("objects", objects),
+        ("threads", threads),
+    ])
 }
 
 // ---------------------------------------------------------------------------
@@ -659,6 +913,86 @@ mod tests {
         let t = report.trace.unwrap();
         let (out, _) = audit("t.json", &t, u64::MAX / 2, 0, 1.0);
         assert!(out.contains("runtime bound crossed at"), "{out}");
+    }
+
+    #[test]
+    fn summarize_lists_blocked_time_by_object() {
+        let (_, report) = run(Config::new(2, SchedKind::Df).with_trace(), || {
+            let m = ptdf::Mutex::new(0u32);
+            ptdf::scope(|s| {
+                for _ in 0..4 {
+                    let m = m.clone();
+                    s.spawn(move || {
+                        for _ in 0..8 {
+                            let mut g = m.lock();
+                            ptdf::work(20_000);
+                            *g += 1;
+                        }
+                    });
+                }
+            });
+        });
+        let t = report.trace.unwrap();
+        let s = summarize(&t);
+        assert!(s.contains("blocked time by object"), "{s}");
+        assert!(s.contains("mutex"), "{s}");
+    }
+
+    #[test]
+    fn summarize_prints_host_phases_when_profiled() {
+        let (_, report) = run(
+            Config::new(2, SchedKind::Df)
+                .with_trace()
+                .with_host_profile(true),
+            || {
+                let h = ptdf::spawn(|| ptdf::work(10_000));
+                h.join();
+            },
+        );
+        let t = report.trace.unwrap();
+        let s = summarize(&t);
+        assert!(s.contains("host phases (profiled"), "{s}");
+        assert!(s.contains("dispatch"), "{s}");
+        assert!(s.contains("trace_alloc"), "{s}");
+        // And the section round-trips through the disk format.
+        let back = Trace::from_chrome_json(&t.to_chrome_json()).unwrap();
+        assert!(summarize(&back).contains("host phases (profiled"));
+
+        // Unprofiled traces stay quiet.
+        let plain = sample_trace(SchedKind::Df);
+        assert!(!summarize(&plain).contains("host phases"));
+    }
+
+    #[test]
+    fn critpath_render_names_the_dominant_bucket() {
+        let t = sample_trace(SchedKind::Df);
+        let cp = ptdf::critpath::analyze(&t);
+        assert_eq!(cp.blame.sum(), cp.makespan);
+        let s = render_critpath("t.json", &cp, 5);
+        assert!(s.contains("makespan"), "{s}");
+        assert!(s.contains("dominant:"), "{s}");
+        assert!(s.contains("compute"), "{s}");
+        assert!(s.contains("on-path threads"), "{s}");
+    }
+
+    #[test]
+    fn critpath_json_parses_and_tiles() {
+        let t = sample_trace(SchedKind::Ws);
+        let cp = ptdf::critpath::analyze(&t);
+        let doc = critpath_json(&cp).to_json();
+        let v = ptdf::json::Value::parse(&doc).unwrap();
+        let makespan = v.get("makespanNs").and_then(|m| m.as_u64()).unwrap();
+        let blame = v.get("blameNs").unwrap();
+        let total: u64 = cp
+            .blame
+            .named()
+            .iter()
+            .map(|&(n, _)| blame.get(n).and_then(|b| b.as_u64()).unwrap())
+            .sum();
+        assert_eq!(total, makespan, "{doc}");
+        assert!(v.get("dominant").and_then(|d| d.as_str()).is_some());
+        let segs = v.get("segments").and_then(|s| s.as_arr()).unwrap();
+        assert!(!segs.is_empty());
     }
 
     #[test]

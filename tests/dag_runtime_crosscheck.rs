@@ -183,6 +183,64 @@ fn makespan_obeys_brent_bounds_under_zero_overhead() {
     }
 }
 
+/// Closed-form check of the critical-path analyzer: on a closed fork/join
+/// program with zero scheduling overhead and more processors than the
+/// program ever has runnable threads, the realized critical path is pure
+/// compute and must equal the abstract DAG's critical path bit-exactly in
+/// virtual time — with the blame buckets still tiling the makespan.
+#[test]
+fn critpath_compute_matches_abstract_critical_path_under_zero_overhead() {
+    use ptdf_dag::critical_path;
+    for (i, prog) in programs().iter().enumerate() {
+        // exec_thread charges u * 10_000 cycles per Work(u); the
+        // zero-overhead model maps 1 cycle → 1 ns.
+        let d = critical_path(prog) * 10_000;
+        if d == 0 {
+            continue;
+        }
+        for kind in [
+            SchedKind::Fifo,
+            SchedKind::Lifo,
+            SchedKind::Df,
+            SchedKind::DfDeques,
+            SchedKind::Ws,
+        ] {
+            // 64 processors ≥ any width gen_program(max_threads: 60) can
+            // reach: nothing ever waits in a queue.
+            let prog_rc = Rc::new(prog.clone());
+            let cfg = Config::new(64, kind)
+                .with_cost(CostModel::zero_overhead())
+                .with_quota(u64::MAX / 4)
+                .with_trace();
+            let (_, report) = ptdf::run(cfg, move || exec_thread(prog_rc, 0));
+            let cp = report.critpath().expect("traced run");
+            assert_eq!(
+                cp.blame.sum(),
+                cp.makespan,
+                "program {i} {kind:?}: buckets must tile the makespan"
+            );
+            assert_eq!(
+                cp.makespan,
+                report.makespan(),
+                "program {i} {kind:?}: analyzer and report disagree on makespan"
+            );
+            assert_eq!(
+                cp.blame.compute.as_ns(),
+                d,
+                "program {i} {kind:?}: path compute {} != abstract critical path {d} (blame {:?})",
+                cp.blame.compute.as_ns(),
+                cp.blame
+            );
+            // Nothing waits: every non-compute bucket is zero.
+            assert_eq!(cp.blame.ready_wait.as_ns(), 0, "program {i} {kind:?}");
+            assert_eq!(cp.blame.lock_wait.as_ns(), 0, "program {i} {kind:?}");
+            assert_eq!(cp.blame.join_wait.as_ns(), 0, "program {i} {kind:?}");
+            assert_eq!(cp.blame.preempt.as_ns(), 0, "program {i} {kind:?}");
+            assert_eq!(cp.blame.residual.as_ns(), 0, "program {i} {kind:?}");
+        }
+    }
+}
+
 #[test]
 fn ws_space_bounded_by_p_times_serial_paths() {
     // Busy-leaves style bound: work stealing (and the parallelized
